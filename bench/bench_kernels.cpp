@@ -1,0 +1,111 @@
+// Micro-kernel wall-clock benchmarks (google-benchmark): the functional
+// reference operators and the cycle-level simulator primitives. These
+// support Fig. 8(c)'s operator-level view with host-side numbers and keep
+// the simulator's own cost visible.
+#include <benchmark/benchmark.h>
+
+#include "core/fuseconv.hpp"
+#include "nn/ops.hpp"
+#include "systolic/sim.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fuse::tensor::Shape;
+using fuse::tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  fuse::util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+// One depthwise-separable unit at MobileNet-scale geometry (shrunk 4x to
+// keep the benchmark quick): 32 channels, 28x28.
+constexpr std::int64_t kC = 32;
+constexpr std::int64_t kHW = 28;
+
+void BM_DepthwiseConv3x3(benchmark::State& state) {
+  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 1);
+  const Tensor weight = random_tensor(Shape{kC, 1, 3, 3}, 2);
+  fuse::nn::Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  p.groups = kC;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse::nn::conv2d(input, weight, nullptr, p));
+  }
+}
+BENCHMARK(BM_DepthwiseConv3x3);
+
+void BM_FuseConvHalf(benchmark::State& state) {
+  fuse::core::FuseConvSpec spec;
+  spec.channels = kC;
+  spec.in_h = kHW;
+  spec.in_w = kHW;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  spec.variant = fuse::core::FuseVariant::kHalf;
+  fuse::util::Rng rng(3);
+  const fuse::core::FuseConvStage stage(spec, rng);
+  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stage.forward(input));
+  }
+}
+BENCHMARK(BM_FuseConvHalf);
+
+void BM_FuseConvFull(benchmark::State& state) {
+  fuse::core::FuseConvSpec spec;
+  spec.channels = kC;
+  spec.in_h = kHW;
+  spec.in_w = kHW;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  spec.variant = fuse::core::FuseVariant::kFull;
+  fuse::util::Rng rng(5);
+  const fuse::core::FuseConvStage stage(spec, rng);
+  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stage.forward(input));
+  }
+}
+BENCHMARK(BM_FuseConvFull);
+
+void BM_PointwiseConv(benchmark::State& state) {
+  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 7);
+  const Tensor weight = random_tensor(Shape{2 * kC, kC, 1, 1}, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fuse::nn::conv2d(input, weight, nullptr, {}));
+  }
+}
+BENCHMARK(BM_PointwiseConv);
+
+void BM_SimMatmul(benchmark::State& state) {
+  const std::int64_t size = state.range(0);
+  fuse::systolic::SystolicArraySim sim(fuse::systolic::square_array(size));
+  const Tensor a = random_tensor(Shape{size, 32}, 9);
+  const Tensor b = random_tensor(Shape{32, size}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.matmul(a, b));
+  }
+}
+BENCHMARK(BM_SimMatmul)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SimConv1dBroadcast(benchmark::State& state) {
+  const std::int64_t size = state.range(0);
+  fuse::systolic::SystolicArraySim sim(fuse::systolic::square_array(size));
+  const Tensor lines = random_tensor(Shape{size, size + 2}, 11);
+  const Tensor kernels = random_tensor(Shape{size, 3}, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.conv1d_broadcast(lines, kernels));
+  }
+}
+BENCHMARK(BM_SimConv1dBroadcast)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Extension (paper §VI): Neural Operator Search over the per-slot
+// {depthwise, FuSe-Full, FuSe-Half} space for every evaluated network, in
+// both budget directions:
+//   min-latency s.t. params <= 1.05x baseline  (what Table I's variants
+//       approximate with uniform choices)
+//   max-params  s.t. latency in the band between the all-Half and
+//       all-Full latencies (the regime where operators genuinely compete)
+//
+// Usage: bench_nos [--size=64] [--csv]
+#include <cstdio>
+#include <iostream>
+
+#include "nos/search.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fuse;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.add_int("size", 64, "systolic array size (SxS)");
+  flags.add_bool("csv", false, "also write bench_nos.csv");
+  flags.parse(argc, argv);
+
+  const auto cfg = systolic::square_array(flags.get_int("size"));
+  std::printf(
+      "Neural Operator Search (paper §VI) on %s — B=depthwise, "
+      "F=FuSe-Full, H=FuSe-Half\n\n",
+      cfg.to_string().c_str());
+
+  util::TablePrinter table({"Network", "Objective", "Params", "Speedup",
+                            "Per-slot assignment"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (nets::NetworkId id : nets::paper_networks()) {
+    {
+      nos::NosConfig config;
+      config.max_params_ratio = 1.05;
+      const nos::NosResult r = nos::search_operators(id, cfg, config);
+      table.add_row({nets::network_name(id), "min latency @ 1.05x params",
+                     util::fixed(r.params_ratio, 3) + "x",
+                     util::fixed(r.speedup, 2) + "x", r.modes_string()});
+      csv_rows.push_back({nets::network_name(id), "min_latency",
+                          util::fixed(r.params_ratio, 4),
+                          util::fixed(r.speedup, 3), r.modes_string()});
+    }
+    {
+      // Mid-band latency budget: halfway between all-Half and all-Full.
+      const double half_ratio =
+          1.0 / sched::speedup_vs_baseline(
+                    id, core::NetworkVariant::kFuseHalf, cfg);
+      const double full_ratio =
+          1.0 / sched::speedup_vs_baseline(
+                    id, core::NetworkVariant::kFuseFull, cfg);
+      nos::NosLatencyBudgetConfig config;
+      config.max_cycles_ratio = 0.5 * (half_ratio + full_ratio);
+      const nos::NosResult r = nos::search_capacity(id, cfg, config);
+      table.add_row({nets::network_name(id),
+                     "max params @ " +
+                         util::fixed(config.max_cycles_ratio, 3) +
+                         "x latency",
+                     util::fixed(r.params_ratio, 3) + "x",
+                     util::fixed(r.speedup, 2) + "x", r.modes_string()});
+      csv_rows.push_back({nets::network_name(id), "max_params",
+                          util::fixed(r.params_ratio, 4),
+                          util::fixed(r.speedup, 3), r.modes_string()});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nmixed assignments in the capacity rows are the point: operator "
+      "choice is a\nper-layer decision, which is what the paper's NOS "
+      "proposal asks search to own.\n");
+
+  if (flags.get_bool("csv")) {
+    util::CsvWriter csv("bench_nos.csv");
+    csv.write_header(
+        {"network", "objective", "params_ratio", "speedup", "modes"});
+    for (const auto& row : csv_rows) {
+      csv.write_row(row);
+    }
+    std::printf("wrote bench_nos.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Extension: the accelerator-design view. For each array size, combine the
+// latency model with the 45 nm area/power model into throughput-per-area
+// and throughput-per-watt — the metrics an accelerator architect actually
+// buys with the broadcast links. FuSeConv shifts the sweet spot: baseline
+// networks stop scaling (under-utilization), FuSe variants keep converting
+// silicon into speed through 128x128.
+//
+// Usage: bench_pareto [--net=v2] [--csv]
+#include <cstdio>
+#include <iostream>
+
+#include "hw/area_power.hpp"
+#include "sched/latency.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fuse;
+
+namespace {
+
+nets::NetworkId parse_net(const std::string& name) {
+  if (name == "v1") return nets::NetworkId::kMobileNetV1;
+  if (name == "v2") return nets::NetworkId::kMobileNetV2;
+  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
+  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
+  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
+  FUSE_CHECK(false) << "unknown --net '" << name << "'";
+  return nets::NetworkId::kMobileNetV2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.add_string("net", "v2", "network: v1|v2|v3s|v3l|mnas");
+  flags.add_bool("csv", false, "also write bench_pareto.csv");
+  flags.parse(argc, argv);
+
+  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const hw::PeComponentModel hw_model = hw::nangate45_model();
+  const auto baseline = nets::build_network(id);
+  const int slots = nets::num_fuse_slots(id);
+  const auto fused = nets::build_network(
+      id, core::uniform_modes(slots, core::FuseMode::kHalf));
+
+  std::printf(
+      "Accelerator design space for %s — throughput per area/power "
+      "(700 MHz, 45 nm model)\n\n",
+      nets::network_name(id).c_str());
+
+  util::TablePrinter table({"Array", "Area (mm^2)", "Power (W)",
+                            "base inf/s", "FuSe inf/s", "FuSe inf/s/mm^2",
+                            "FuSe inf/J"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::int64_t size : {8, 16, 32, 64, 128}) {
+    auto cfg = systolic::square_array(size);
+    const hw::ArrayHwReport hw_report = hw::array_hw(cfg, hw_model);
+    const double hz = cfg.freq_mhz * 1e6;
+    const double base_inf_s =
+        hz / static_cast<double>(
+                 sched::network_latency(baseline, cfg).total_cycles);
+    const double fuse_inf_s =
+        hz / static_cast<double>(
+                 sched::network_latency(fused, cfg).total_cycles);
+    const double watts = hw_report.power_mw / 1e3;
+    table.add_row({std::to_string(size) + "x" + std::to_string(size),
+                   util::fixed(hw_report.area_mm2, 2),
+                   util::fixed(watts, 2),
+                   util::fixed(base_inf_s, 0),
+                   util::fixed(fuse_inf_s, 0),
+                   util::fixed(fuse_inf_s / hw_report.area_mm2, 0),
+                   util::fixed(fuse_inf_s / watts, 0)});
+    csv_rows.push_back({std::to_string(size),
+                        util::fixed(hw_report.area_mm2, 3),
+                        util::fixed(watts, 3),
+                        util::fixed(base_inf_s, 1),
+                        util::fixed(fuse_inf_s, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nFuSe keeps converting PEs into throughput where the baseline "
+      "saturates; the\nthroughput-per-area optimum moves toward smaller "
+      "arrays for both (skew and\ndrain amortize worse as S grows), but "
+      "FuSe's optimum delivers several times\nmore inferences per mm^2 and "
+      "per joule.\n");
+
+  if (flags.get_bool("csv")) {
+    util::CsvWriter csv("bench_pareto.csv");
+    csv.write_header(
+        {"size", "area_mm2", "power_w", "base_inf_s", "fuse_inf_s"});
+    for (const auto& row : csv_rows) {
+      csv.write_row(row);
+    }
+    std::printf("wrote bench_pareto.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extension: does the FuSe speedup hold across the MobileNet width-
+// multiplier family ("the MobileNet family of networks" of the paper's
+// abstract)? Sweeps alpha for V1 and V2 and reports baseline MACs and the
+// Full/Half speedups on the paper's 64x64 array. Narrower networks expose
+// the array's under-utilization even more, so the speedup should not decay
+// at small alpha.
+//
+// Usage: bench_width_mult [--size=64] [--csv]
+#include <cstdio>
+#include <iostream>
+
+#include "sched/latency.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fuse;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.add_int("size", 64, "systolic array size (SxS)");
+  flags.add_bool("csv", false, "also write bench_width_mult.csv");
+  flags.parse(argc, argv);
+
+  const auto cfg = systolic::square_array(flags.get_int("size"));
+  const double alphas[] = {0.25, 0.5, 0.75, 1.0};
+
+  std::printf(
+      "Width-multiplier sweep on %s — FuSe speedups across the MobileNet "
+      "family\n\n",
+      cfg.to_string().c_str());
+
+  util::TablePrinter table({"Network", "alpha", "MACs (M)", "Params (M)",
+                            "Full speedup", "Half speedup"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (nets::NetworkId id :
+       {nets::NetworkId::kMobileNetV1, nets::NetworkId::kMobileNetV2}) {
+    const int slots = nets::num_fuse_slots(id);
+    for (double alpha : alphas) {
+      const auto baseline = nets::build_network_scaled(id, alpha);
+      const auto full = nets::build_network_scaled(
+          id, alpha, core::uniform_modes(slots, core::FuseMode::kFull));
+      const auto half = nets::build_network_scaled(
+          id, alpha, core::uniform_modes(slots, core::FuseMode::kHalf));
+      const std::uint64_t base_cycles =
+          sched::network_latency(baseline, cfg).total_cycles;
+      const double full_speedup =
+          static_cast<double>(base_cycles) /
+          static_cast<double>(
+              sched::network_latency(full, cfg).total_cycles);
+      const double half_speedup =
+          static_cast<double>(base_cycles) /
+          static_cast<double>(
+              sched::network_latency(half, cfg).total_cycles);
+      table.add_row(
+          {nets::network_name(id), util::fixed(alpha, 2),
+           util::fixed(static_cast<double>(baseline.total_macs()) / 1e6, 0),
+           util::fixed(static_cast<double>(baseline.total_params()) / 1e6,
+                       2),
+           util::fixed(full_speedup, 2) + "x",
+           util::fixed(half_speedup, 2) + "x"});
+      csv_rows.push_back({nets::network_name(id), util::fixed(alpha, 2),
+                          std::to_string(baseline.total_macs()),
+                          std::to_string(baseline.total_params()),
+                          util::fixed(full_speedup, 3),
+                          util::fixed(half_speedup, 3)});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  if (flags.get_bool("csv")) {
+    util::CsvWriter csv("bench_width_mult.csv");
+    csv.write_header({"network", "alpha", "macs", "params", "full_speedup",
+                      "half_speedup"});
+    for (const auto& row : csv_rows) {
+      csv.write_row(row);
+    }
+    std::printf("\nwrote bench_width_mult.csv\n");
+  }
+  return 0;
+}

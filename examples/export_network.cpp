@@ -1,0 +1,108 @@
+// export_network: lower any zoo network/variant and save it in the text
+// model format (nets/serialize.hpp) — the artifact a downstream deployment
+// flow would consume. Also demonstrates the load path and fold-level
+// tracing of the heaviest layer.
+//
+// Usage: export_network [--net=v2] [--variant=half] [--size=64]
+//        [--out=network.fusenet] [--trace-csv=]
+#include <algorithm>
+#include <cstdio>
+
+#include "nets/serialize.hpp"
+#include "sched/latency.hpp"
+#include "systolic/trace.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace fuse;
+
+namespace {
+
+nets::NetworkId parse_net(const std::string& name) {
+  if (name == "v1") return nets::NetworkId::kMobileNetV1;
+  if (name == "v2") return nets::NetworkId::kMobileNetV2;
+  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
+  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
+  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
+  FUSE_CHECK(false) << "unknown --net '" << name << "'";
+  return nets::NetworkId::kMobileNetV2;
+}
+
+core::NetworkVariant parse_variant(const std::string& name) {
+  if (name == "baseline") return core::NetworkVariant::kBaseline;
+  if (name == "full") return core::NetworkVariant::kFuseFull;
+  if (name == "half") return core::NetworkVariant::kFuseHalf;
+  if (name == "full50") return core::NetworkVariant::kFuseFull50;
+  if (name == "half50") return core::NetworkVariant::kFuseHalf50;
+  FUSE_CHECK(false) << "unknown --variant '" << name << "'";
+  return core::NetworkVariant::kBaseline;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.add_string("net", "v2", "network: v1|v2|v3s|v3l|mnas");
+  flags.add_string("variant", "half",
+                   "baseline|full|half|full50|half50");
+  flags.add_int("size", 64, "systolic array size (SxS)");
+  flags.add_string("out", "network.fusenet", "output model file");
+  flags.add_string("trace-csv", "",
+                   "also write a fold trace of the heaviest layer here");
+  flags.parse(argc, argv);
+
+  const auto cfg = systolic::square_array(flags.get_int("size"));
+  const sched::VariantBuild build = sched::build_variant(
+      parse_net(flags.get_string("net")),
+      parse_variant(flags.get_string("variant")), cfg);
+
+  const std::string path = flags.get_string("out");
+  nets::save_network(build.model, path);
+  const nets::NetworkModel loaded = nets::load_network(path);
+  FUSE_CHECK(loaded.total_macs() == build.model.total_macs())
+      << "round-trip mismatch";
+  std::printf("wrote %s: %zu layers, %s MACs, %s params (round-trip "
+              "verified)\n",
+              path.c_str(), loaded.layers.size(),
+              util::with_commas(loaded.total_macs()).c_str(),
+              util::with_commas(loaded.total_params()).c_str());
+
+  const std::string trace_path = flags.get_string("trace-csv");
+  if (!trace_path.empty()) {
+    // Fold trace of the heaviest latency-bearing layer.
+    const sched::NetworkLatency lat =
+        sched::network_latency(build.model, cfg);
+    std::size_t heaviest = 0;
+    for (std::size_t i = 0; i < lat.per_layer.size(); ++i) {
+      if (lat.per_layer[i].cycles > lat.per_layer[heaviest].cycles) {
+        heaviest = i;
+      }
+    }
+    const nn::LayerDesc& layer = build.model.layers[heaviest];
+    const systolic::MemoryConfig mem;
+    systolic::FoldTrace trace;
+    if (layer.kind == nn::OpKind::kFuseRowConv) {
+      trace = systolic::fuse1d_trace(layer.out_c * layer.out_h,
+                                     layer.out_w, layer.kernel_w, cfg, mem);
+    } else if (layer.kind == nn::OpKind::kFuseColConv) {
+      trace = systolic::fuse1d_trace(layer.out_c * layer.out_w,
+                                     layer.out_h, layer.kernel_h, cfg, mem);
+    } else {
+      // Conv-family layers trace as their im2col matmul.
+      trace = systolic::matmul_trace(
+          layer.out_h * layer.out_w,
+          layer.kernel_h * layer.kernel_w * (layer.in_c / layer.groups),
+          layer.out_c / layer.groups, cfg, mem);
+    }
+    systolic::write_fold_trace_csv(trace, trace_path);
+    std::printf(
+        "wrote %s: %zu folds of layer '%s' (%s cycles, peak fold %s B, "
+        "double-buffer SRAM %s B)\n",
+        trace_path.c_str(), trace.folds.size(), layer.name.c_str(),
+        util::with_commas(trace.total_cycles).c_str(),
+        util::with_commas(trace.peak_fold_bytes()).c_str(),
+        util::with_commas(trace.double_buffer_bytes()).c_str());
+  }
+  return 0;
+}

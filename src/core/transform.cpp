@@ -1,0 +1,89 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace fuse::core {
+
+const std::vector<NetworkVariant>& all_network_variants() {
+  static const std::vector<NetworkVariant> kVariants = {
+      NetworkVariant::kBaseline,   NetworkVariant::kFuseFull,
+      NetworkVariant::kFuseHalf,   NetworkVariant::kFuseFull50,
+      NetworkVariant::kFuseHalf50,
+  };
+  return kVariants;
+}
+
+std::string network_variant_name(NetworkVariant variant) {
+  switch (variant) {
+    case NetworkVariant::kBaseline:
+      return "baseline";
+    case NetworkVariant::kFuseFull:
+      return "FuSe-Full";
+    case NetworkVariant::kFuseHalf:
+      return "FuSe-Half";
+    case NetworkVariant::kFuseFull50:
+      return "FuSe-Full-50%";
+    case NetworkVariant::kFuseHalf50:
+      return "FuSe-Half-50%";
+  }
+  return "?";
+}
+
+FuseVariant fuse_mode_variant(FuseMode mode) {
+  FUSE_CHECK(mode != FuseMode::kBaseline)
+      << "baseline mode has no FuseVariant";
+  return mode == FuseMode::kFull ? FuseVariant::kFull : FuseVariant::kHalf;
+}
+
+std::vector<FuseMode> uniform_modes(int num_slots, FuseMode mode) {
+  FUSE_CHECK(num_slots >= 0) << "negative slot count";
+  return std::vector<FuseMode>(static_cast<std::size_t>(num_slots), mode);
+}
+
+std::vector<FuseMode> top_half_modes(const std::vector<double>& savings,
+                                     FuseMode mode) {
+  FUSE_CHECK(mode != FuseMode::kBaseline)
+      << "top_half_modes needs a replacing mode";
+  const int num_slots = static_cast<int>(savings.size());
+  std::vector<int> order(savings.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return savings[static_cast<std::size_t>(a)] >
+           savings[static_cast<std::size_t>(b)];
+  });
+  const int quota = (num_slots + 1) / 2;  // 50%, rounding up on odd counts
+  std::vector<FuseMode> modes = uniform_modes(num_slots, FuseMode::kBaseline);
+  for (int i = 0; i < quota; ++i) {
+    modes[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        mode;
+  }
+  return modes;
+}
+
+std::vector<FuseMode> modes_for_variant(NetworkVariant variant,
+                                        int num_slots,
+                                        const std::vector<double>& savings) {
+  switch (variant) {
+    case NetworkVariant::kBaseline:
+      return uniform_modes(num_slots, FuseMode::kBaseline);
+    case NetworkVariant::kFuseFull:
+      return uniform_modes(num_slots, FuseMode::kFull);
+    case NetworkVariant::kFuseHalf:
+      return uniform_modes(num_slots, FuseMode::kHalf);
+    case NetworkVariant::kFuseFull50:
+      FUSE_CHECK(static_cast<int>(savings.size()) == num_slots)
+          << "50% variant needs per-slot savings";
+      return top_half_modes(savings, FuseMode::kFull);
+    case NetworkVariant::kFuseHalf50:
+      FUSE_CHECK(static_cast<int>(savings.size()) == num_slots)
+          << "50% variant needs per-slot savings";
+      return top_half_modes(savings, FuseMode::kHalf);
+  }
+  FUSE_CHECK(false) << "unknown network variant";
+  return {};
+}
+
+}  // namespace fuse::core

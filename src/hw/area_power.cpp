@@ -1,0 +1,52 @@
+#include "hw/area_power.hpp"
+
+#include "util/check.hpp"
+
+namespace fuse::hw {
+
+PeComponentModel nangate45_model() { return PeComponentModel{}; }
+
+ArrayHwReport array_hw(const systolic::ArrayConfig& cfg,
+                       const PeComponentModel& model) {
+  cfg.validate();
+  const double rows = static_cast<double>(cfg.rows);
+  const double cols = static_cast<double>(cfg.cols);
+  const double pes = rows * cols;
+  const double edges = rows + cols;  // feeders on left + top (drain shares)
+
+  double area_um2 =
+      pes * (model.mac_area_um2 + model.reg_area_um2 + model.ctrl_area_um2) +
+      edges * model.edge_cell_area_um2;
+  double power_mw =
+      pes * (model.mac_power_mw + model.reg_power_mw + model.ctrl_power_mw) +
+      edges * model.edge_cell_power_mw;
+
+  if (cfg.broadcast_links) {
+    area_um2 += pes * (model.mux_area_um2 + model.wire_seg_area_um2) +
+                rows * model.row_driver_area_um2;
+    power_mw += pes * (model.mux_power_mw + model.wire_seg_power_mw) +
+                rows * model.row_driver_power_mw;
+  }
+
+  ArrayHwReport report;
+  report.area_mm2 = area_um2 * 1e-6;
+  report.power_mw = power_mw;
+  return report;
+}
+
+OverheadReport broadcast_overhead(std::int64_t size,
+                                  const PeComponentModel& model) {
+  FUSE_CHECK(size > 0) << "array size must be positive";
+  systolic::ArrayConfig with = systolic::square_array(size, true);
+  systolic::ArrayConfig without = systolic::square_array(size, false);
+  const ArrayHwReport a = array_hw(with, model);
+  const ArrayHwReport b = array_hw(without, model);
+
+  OverheadReport report;
+  report.array_size = size;
+  report.area_pct = 100.0 * (a.area_mm2 - b.area_mm2) / b.area_mm2;
+  report.power_pct = 100.0 * (a.power_mw - b.power_mw) / b.power_mw;
+  return report;
+}
+
+}  // namespace fuse::hw

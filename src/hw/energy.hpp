@@ -1,0 +1,72 @@
+// Energy model (45 nm class), extending the area/power study of §V-B5.
+//
+// Energy per inference decomposes into: useful MAC energy (proportional to
+// the operator's arithmetic), idle/clocking energy burned by every PE for
+// every cycle the array is busy (this is where low utilization hurts — an
+// under-utilized array pays the full grid's clock tree and leakage while
+// one column works), and DRAM access energy for the traffic the mapping
+// generates. FuSeConv's win is mostly the second term: far fewer busy
+// cycles at much higher utilization.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace fuse::hw {
+
+/// Per-event energy costs. Defaults approximate 45 nm figures commonly
+/// used in accelerator papers (Horowitz ISSCC'14 scaled to FP16).
+struct EnergyModel {
+  double mac_pj = 1.1;             // one FP16 multiply-accumulate
+  double pe_idle_pj_per_cycle = 0.10;  // clock + leakage per PE per cycle
+  double sram_pj_per_byte = 2.5;   // on-chip buffer access
+  double dram_pj_per_byte = 80.0;  // off-chip access
+
+  void validate() const {
+    FUSE_CHECK(mac_pj > 0 && pe_idle_pj_per_cycle >= 0 &&
+               sram_pj_per_byte >= 0 && dram_pj_per_byte >= 0)
+        << "bad energy model";
+  }
+};
+
+/// Energy of one operator / network, in nanojoules.
+struct EnergyReport {
+  double mac_nj = 0.0;
+  double idle_nj = 0.0;
+  double sram_nj = 0.0;
+  double dram_nj = 0.0;
+
+  double total_nj() const { return mac_nj + idle_nj + sram_nj + dram_nj; }
+
+  EnergyReport& operator+=(const EnergyReport& other) {
+    mac_nj += other.mac_nj;
+    idle_nj += other.idle_nj;
+    sram_nj += other.sram_nj;
+    dram_nj += other.dram_nj;
+    return *this;
+  }
+};
+
+/// Combines the activity counters of one operator into energy. `bytes` is
+/// the DRAM traffic; every DRAM byte is assumed to also pass through SRAM
+/// once (double-buffered staging).
+inline EnergyReport operator_energy(std::uint64_t mac_ops,
+                                    std::uint64_t busy_cycles,
+                                    std::int64_t pe_count,
+                                    std::uint64_t bytes,
+                                    const EnergyModel& model) {
+  model.validate();
+  EnergyReport report;
+  report.mac_nj = static_cast<double>(mac_ops) * model.mac_pj * 1e-3;
+  report.idle_nj = static_cast<double>(busy_cycles) *
+                   static_cast<double>(pe_count) *
+                   model.pe_idle_pj_per_cycle * 1e-3;
+  report.sram_nj =
+      static_cast<double>(bytes) * model.sram_pj_per_byte * 1e-3;
+  report.dram_nj =
+      static_cast<double>(bytes) * model.dram_pj_per_byte * 1e-3;
+  return report;
+}
+
+}  // namespace fuse::hw

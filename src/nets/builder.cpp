@@ -1,0 +1,251 @@
+#include "nets/builder.hpp"
+
+#include "core/fuseconv.hpp"
+#include "tensor/im2col.hpp"
+#include "util/check.hpp"
+
+namespace fuse::nets {
+
+using core::FuseConvSpec;
+using core::FuseVariant;
+using nn::OpKind;
+
+std::int64_t make_divisible(std::int64_t value, std::int64_t divisor) {
+  FUSE_CHECK(value > 0 && divisor > 0) << "make_divisible(" << value << ", "
+                                       << divisor << ")";
+  std::int64_t rounded = (value + divisor / 2) / divisor * divisor;
+  if (rounded < divisor) {
+    rounded = divisor;
+  }
+  if (rounded * 10 < value * 9) {  // never drop below 90%
+    rounded += divisor;
+  }
+  return rounded;
+}
+
+NetworkBuilder::NetworkBuilder(std::string name, std::int64_t in_c,
+                               std::int64_t in_h, std::int64_t in_w,
+                               std::vector<FuseMode> modes)
+    : net_name_(std::move(name)),
+      c_(in_c),
+      h_(in_h),
+      w_(in_w),
+      modes_(std::move(modes)) {
+  FUSE_CHECK(in_c > 0 && in_h > 0 && in_w > 0)
+      << "bad input geometry for network " << net_name_;
+}
+
+void NetworkBuilder::append(LayerDesc layer) {
+  c_ = layer.out_c;
+  h_ = layer.out_h;
+  w_ = layer.out_w;
+  layers_.push_back(std::move(layer));
+}
+
+FuseMode NetworkBuilder::next_mode() {
+  const int index = slot_++;
+  if (modes_.empty()) {
+    return FuseMode::kBaseline;
+  }
+  FUSE_CHECK(index < static_cast<int>(modes_.size()))
+      << net_name_ << " has more depthwise slots than modes provided ("
+      << modes_.size() << ")";
+  return modes_[static_cast<std::size_t>(index)];
+}
+
+void NetworkBuilder::conv(const std::string& name, std::int64_t out_c,
+                          std::int64_t kernel, std::int64_t stride,
+                          Activation act) {
+  append(nn::make_conv(net_name_ + "/" + name, c_, h_, w_, out_c, kernel,
+                       stride, kernel / 2, act));
+}
+
+void NetworkBuilder::depthwise(const std::string& name, std::int64_t kernel,
+                               std::int64_t stride, Activation act) {
+  const int slot = slot_;  // next_mode() advances it
+  const FuseMode mode = next_mode();
+  pending_slot_ = slot;
+  if (mode == FuseMode::kBaseline) {
+    LayerDesc layer = nn::make_depthwise(net_name_ + "/" + name, c_, h_, w_,
+                                         kernel, stride, kernel / 2, act);
+    layer.fuse_slot = slot;
+    append(layer);
+    return;
+  }
+  FuseConvSpec spec;
+  spec.channels = c_;
+  spec.in_h = h_;
+  spec.in_w = w_;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.pad = kernel / 2;
+  spec.variant = core::fuse_mode_variant(mode);
+  const std::vector<LayerDesc> stage = core::lower_fuse_stage(
+      net_name_ + "/" + name + "/fuse", spec, act, slot);
+  // Both branches run on the array; the concatenated output is what the
+  // rest of the network sees.
+  for (const LayerDesc& layer : stage) {
+    layers_.push_back(layer);
+  }
+  c_ = spec.out_channels();
+  h_ = spec.out_h();
+  w_ = spec.out_w();
+}
+
+void NetworkBuilder::pointwise(const std::string& name, std::int64_t out_c,
+                               Activation act) {
+  LayerDesc layer =
+      nn::make_pointwise(net_name_ + "/" + name, c_, h_, w_, out_c, act);
+  layer.fuse_slot = pending_slot_;
+  pending_slot_ = -1;
+  append(layer);
+}
+
+void NetworkBuilder::squeeze_excite(const std::string& name,
+                                    std::int64_t se_c) {
+  FUSE_CHECK(se_c > 0) << "squeeze-excite reduce channels must be positive";
+  const std::int64_t full_c = c_;
+  const std::int64_t keep_h = h_;
+  const std::int64_t keep_w = w_;
+
+  LayerDesc pool;
+  pool.name = net_name_ + "/" + name + "/pool";
+  pool.kind = OpKind::kGlobalAvgPool;
+  pool.in_c = full_c;
+  pool.in_h = keep_h;
+  pool.in_w = keep_w;
+  pool.out_c = full_c;
+  pool.out_h = 1;
+  pool.out_w = 1;
+  pool.in_squeeze_excite = true;
+  pool.fuse_slot = pending_slot_;
+  layers_.push_back(pool);
+
+  LayerDesc reduce = nn::make_fully_connected(
+      net_name_ + "/" + name + "/reduce", full_c, se_c, /*bias=*/true,
+      Activation::kRelu);
+  reduce.in_squeeze_excite = true;
+  reduce.fuse_slot = pending_slot_;
+  layers_.push_back(reduce);
+
+  LayerDesc expand = nn::make_fully_connected(
+      net_name_ + "/" + name + "/expand", se_c, full_c, /*bias=*/true,
+      Activation::kHardSigmoid);
+  expand.in_squeeze_excite = true;
+  expand.fuse_slot = pending_slot_;
+  layers_.push_back(expand);
+
+  LayerDesc scale;
+  scale.name = net_name_ + "/" + name + "/scale";
+  scale.kind = OpKind::kActivation;  // channel recalibration, zero MACs
+  scale.in_c = full_c;
+  scale.in_h = keep_h;
+  scale.in_w = keep_w;
+  scale.out_c = full_c;
+  scale.out_h = keep_h;
+  scale.out_w = keep_w;
+  scale.in_squeeze_excite = true;
+  scale.fuse_slot = pending_slot_;
+  layers_.push_back(scale);
+  // Shape is unchanged by SE; c_/h_/w_ stay as they were.
+}
+
+void NetworkBuilder::global_pool(const std::string& name) {
+  LayerDesc pool;
+  pool.name = net_name_ + "/" + name;
+  pool.kind = OpKind::kGlobalAvgPool;
+  pool.in_c = c_;
+  pool.in_h = h_;
+  pool.in_w = w_;
+  pool.out_c = c_;
+  pool.out_h = 1;
+  pool.out_w = 1;
+  append(pool);
+}
+
+void NetworkBuilder::max_pool(const std::string& name, std::int64_t kernel,
+                              std::int64_t stride) {
+  LayerDesc pool;
+  pool.name = net_name_ + "/" + name;
+  pool.kind = OpKind::kMaxPool;
+  pool.in_c = c_;
+  pool.in_h = h_;
+  pool.in_w = w_;
+  pool.out_c = c_;
+  pool.out_h = tensor::conv_out_dim(h_, kernel, stride, kernel / 2);
+  pool.out_w = tensor::conv_out_dim(w_, kernel, stride, kernel / 2);
+  pool.kernel_h = kernel;
+  pool.kernel_w = kernel;
+  pool.stride_h = stride;
+  pool.stride_w = stride;
+  append(pool);
+}
+
+void NetworkBuilder::fully_connected(const std::string& name,
+                                     std::int64_t out_f, Activation act) {
+  FUSE_CHECK(h_ == 1 && w_ == 1)
+      << "fully_connected expects a pooled 1x1 activation, have " << h_ << "x"
+      << w_;
+  append(nn::make_fully_connected(net_name_ + "/" + name, c_, out_f,
+                                  /*bias=*/true, act));
+}
+
+void NetworkBuilder::residual_add(const std::string& name) {
+  LayerDesc add;
+  add.name = net_name_ + "/" + name;
+  add.kind = OpKind::kElementwiseAdd;
+  add.in_c = c_;
+  add.in_h = h_;
+  add.in_w = w_;
+  add.out_c = c_;
+  add.out_h = h_;
+  add.out_w = w_;
+  layers_.push_back(add);
+}
+
+void NetworkBuilder::side_layer(LayerDesc layer) {
+  layers_.push_back(std::move(layer));
+}
+
+void NetworkBuilder::separable_block(const std::string& name,
+                                     std::int64_t out_c, std::int64_t kernel,
+                                     std::int64_t stride, Activation act) {
+  depthwise(name + "/dw", kernel, stride, act);
+  pointwise(name + "/pw", out_c, act);
+}
+
+void NetworkBuilder::inverted_residual(const std::string& name,
+                                       std::int64_t expand_c,
+                                       std::int64_t out_c,
+                                       std::int64_t kernel,
+                                       std::int64_t stride, bool use_se,
+                                       Activation act) {
+  const std::int64_t in_c = c_;
+  const bool has_skip = (stride == 1 && in_c == out_c);
+  if (expand_c != in_c) {
+    pointwise(name + "/expand", expand_c, act);
+  }
+  depthwise(name + "/dw", kernel, stride, act);
+  if (use_se) {
+    // Reduce channels derive from the current (possibly FuSe-widened)
+    // width, mirroring a drop-in module replacement.
+    squeeze_excite(name + "/se", make_divisible(c_ / 4));
+  }
+  pointwise(name + "/project", out_c, Activation::kNone);
+  if (has_skip) {
+    residual_add(name + "/add");
+  }
+}
+
+NetworkModel NetworkBuilder::finish() {
+  FUSE_CHECK(modes_.empty() || static_cast<int>(modes_.size()) == slot_)
+      << net_name_ << ": " << modes_.size() << " modes provided but "
+      << slot_ << " depthwise slots exist";
+  NetworkModel model;
+  model.name = net_name_;
+  model.num_slots = slot_;
+  model.layers = std::move(layers_);
+  return model;
+}
+
+}  // namespace fuse::nets

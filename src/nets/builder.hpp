@@ -1,0 +1,121 @@
+// NetworkBuilder: constructs the flat LayerDesc IR for a network while
+// tracking the activation shape, and applies the FuSe transform in-line.
+//
+// Every depthwise layer appended through depthwise() is a numbered "fuse
+// slot". The per-slot FuseMode list decides whether the slot stays a KxK
+// depthwise convolution or becomes a FuSeConv 1-D stage; because the
+// builder tracks channels, a Full replacement (2C output channels)
+// automatically widens the following squeeze-excite and pointwise
+// projection, exactly as a drop-in nn.Module replacement would in the
+// paper's PyTorch setup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transform.hpp"
+#include "nn/layer.hpp"
+
+namespace fuse::nets {
+
+using core::FuseMode;
+using nn::Activation;
+using nn::LayerDesc;
+
+/// A fully lowered network.
+struct NetworkModel {
+  std::string name;
+  int num_slots = 0;  // replaceable depthwise blocks
+  std::vector<LayerDesc> layers;
+
+  std::uint64_t total_macs() const { return nn::total_macs(layers); }
+  std::uint64_t total_params() const { return nn::total_params(layers); }
+};
+
+/// Rounds `value` up/down to the nearest multiple of `divisor`, never going
+/// below 90% of `value` (the MobileNet-V3 make_divisible rule).
+std::int64_t make_divisible(std::int64_t value, std::int64_t divisor = 8);
+
+class NetworkBuilder {
+ public:
+  /// `modes` has one entry per depthwise slot; pass {} for all-baseline.
+  NetworkBuilder(std::string name, std::int64_t in_c, std::int64_t in_h,
+                 std::int64_t in_w, std::vector<FuseMode> modes);
+
+  // -- primitive appenders (all use 'same'-style padding k/2) --------------
+
+  /// Dense KxK conv + BN + activation.
+  void conv(const std::string& name, std::int64_t out_c, std::int64_t kernel,
+            std::int64_t stride, Activation act);
+
+  /// KxK depthwise + BN + activation — one fuse slot. Replaced by a FuSe
+  /// stage when the slot's mode says so.
+  void depthwise(const std::string& name, std::int64_t kernel,
+                 std::int64_t stride, Activation act);
+
+  /// 1x1 dense conv + BN + activation.
+  void pointwise(const std::string& name, std::int64_t out_c,
+                 Activation act);
+
+  /// Squeeze-excite on the current channels: global pool + FC(C -> se_c) +
+  /// ReLU + FC(se_c -> C) + hard-sigmoid + channel scale. The two FCs count
+  /// toward latency (per §V-A3); the rest are glue ops.
+  void squeeze_excite(const std::string& name, std::int64_t se_c);
+
+  /// Global average pool to 1x1.
+  void global_pool(const std::string& name);
+
+  /// Max pool.
+  void max_pool(const std::string& name, std::int64_t kernel,
+                std::int64_t stride);
+
+  /// Fully connected on the flattened current activation.
+  void fully_connected(const std::string& name, std::int64_t out_f,
+                       Activation act);
+
+  /// Marks a residual add closing a block (zero-MAC glue layer).
+  void residual_add(const std::string& name);
+
+  /// Appends a layer that runs on a side branch (e.g. a ResNet projection
+  /// shortcut): it contributes MACs/params/latency but does not change the
+  /// tracked main-path shape.
+  void side_layer(LayerDesc layer);
+
+  // -- composite blocks -----------------------------------------------------
+
+  /// MobileNet-V1 style: depthwise(k, s) + pointwise(out_c), both ReLU-like.
+  void separable_block(const std::string& name, std::int64_t out_c,
+                       std::int64_t kernel, std::int64_t stride,
+                       Activation act);
+
+  /// MobileNet-V2/V3 / MnasNet inverted residual: optional 1x1 expansion to
+  /// expand_c, depthwise(k, s), optional SE (reduce channels computed from
+  /// the *current* width with make_divisible(c/4)), linear 1x1 projection
+  /// to out_c, skip connection when stride 1 and in_c == out_c.
+  void inverted_residual(const std::string& name, std::int64_t expand_c,
+                         std::int64_t out_c, std::int64_t kernel,
+                         std::int64_t stride, bool use_se, Activation act);
+
+  // -- state ----------------------------------------------------------------
+
+  std::int64_t channels() const { return c_; }
+  std::int64_t height() const { return h_; }
+  std::int64_t width() const { return w_; }
+
+  /// Finalizes; verifies every provided mode was consumed.
+  NetworkModel finish();
+
+ private:
+  void append(LayerDesc layer);
+  FuseMode next_mode();
+
+  std::string net_name_;
+  std::int64_t c_, h_, w_;
+  std::vector<FuseMode> modes_;
+  int slot_ = 0;          // next slot index
+  int pending_slot_ = -1; // slot tag to propagate to SE + projection pw
+  std::vector<LayerDesc> layers_;
+};
+
+}  // namespace fuse::nets

@@ -1,0 +1,41 @@
+// MnasNet-B1 (Tan et al. 2019), depth multiplier 1.0, 224x224 input.
+// No squeeze-excite in the B1 variant.
+#include "nets/zoo.hpp"
+
+namespace fuse::nets {
+
+NetworkModel mnasnet_b1(const std::vector<core::FuseMode>& modes) {
+  NetworkBuilder b("MnasNet-B1", 3, 224, 224, modes);
+  const Activation act = Activation::kRelu;
+
+  b.conv("stem", 32, 3, 2, act);
+
+  // First stage: SepConv (depthwise 3x3 + linear pointwise to 16).
+  b.depthwise("sep/dw", 3, 1, act);
+  b.pointwise("sep/pw", 16, Activation::kNone);
+
+  // MBConv stages: expansion t, kernel k, output channels c, repeats n,
+  // first-block stride s.
+  const struct {
+    std::int64_t t, k, c, n, s;
+  } settings[] = {
+      {3, 3, 24, 3, 2},  {3, 5, 40, 3, 2},  {6, 5, 80, 3, 2},
+      {6, 3, 96, 2, 1},  {6, 5, 192, 4, 2}, {6, 3, 320, 1, 1},
+  };
+  int index = 0;
+  for (const auto& cfg : settings) {
+    for (std::int64_t i = 0; i < cfg.n; ++i) {
+      const std::int64_t stride = (i == 0) ? cfg.s : 1;
+      const std::int64_t expand_c = b.channels() * cfg.t;
+      b.inverted_residual("block" + std::to_string(index++), expand_c,
+                          cfg.c, cfg.k, stride, /*use_se=*/false, act);
+    }
+  }
+
+  b.pointwise("head", 1280, act);
+  b.global_pool("pool");
+  b.fully_connected("classifier", 1000, Activation::kNone);
+  return b.finish();
+}
+
+}  // namespace fuse::nets

@@ -1,0 +1,53 @@
+// MobileNet-V1 (Howard et al. 2017), 224x224 input, optional width
+// multiplier alpha (channels scale by alpha, rounded to multiples of 8 per
+// the reference implementation).
+#include "nets/zoo.hpp"
+#include "util/check.hpp"
+
+namespace fuse::nets {
+
+namespace {
+
+std::int64_t scaled(std::int64_t channels, double width_mult) {
+  if (width_mult == 1.0) {
+    return channels;
+  }
+  return make_divisible(
+      static_cast<std::int64_t>(channels * width_mult + 0.5), 8);
+}
+
+}  // namespace
+
+NetworkModel mobilenet_v1(const std::vector<core::FuseMode>& modes,
+                          double width_mult, std::int64_t input_size) {
+  FUSE_CHECK(width_mult > 0.0 && width_mult <= 2.0)
+      << "width multiplier out of range: " << width_mult;
+  FUSE_CHECK(input_size >= 32 && input_size % 32 == 0)
+      << "input resolution must be a positive multiple of 32, got "
+      << input_size;
+  NetworkBuilder b("MobileNet-V1", 3, input_size, input_size, modes);
+  const Activation act = Activation::kRelu;
+
+  b.conv("stem", scaled(32, width_mult), 3, 2, act);
+
+  // (out_c, stride) for the 13 depthwise separable blocks.
+  const struct {
+    std::int64_t out_c;
+    std::int64_t stride;
+  } blocks[] = {
+      {64, 1},   {128, 2}, {128, 1}, {256, 2},  {256, 1},
+      {512, 2},  {512, 1}, {512, 1}, {512, 1},  {512, 1},
+      {512, 1},  {1024, 2}, {1024, 1},
+  };
+  int index = 0;
+  for (const auto& blk : blocks) {
+    b.separable_block("block" + std::to_string(index++),
+                      scaled(blk.out_c, width_mult), 3, blk.stride, act);
+  }
+
+  b.global_pool("pool");
+  b.fully_connected("classifier", 1000, Activation::kNone);
+  return b.finish();
+}
+
+}  // namespace fuse::nets

@@ -1,0 +1,77 @@
+// MobileNet-V2 (Sandler et al. 2018), 224x224 input, optional width
+// multiplier. Per the reference implementation the head conv does not
+// shrink below 1280 for multipliers <= 1.
+#include "nets/zoo.hpp"
+#include "util/check.hpp"
+
+namespace fuse::nets {
+
+namespace {
+
+std::int64_t scaled(std::int64_t channels, double width_mult) {
+  if (width_mult == 1.0) {
+    return channels;
+  }
+  return make_divisible(
+      static_cast<std::int64_t>(channels * width_mult + 0.5), 8);
+}
+
+}  // namespace
+
+NetworkModel mobilenet_v2(const std::vector<core::FuseMode>& modes,
+                          double width_mult, std::int64_t input_size) {
+  FUSE_CHECK(width_mult > 0.0 && width_mult <= 2.0)
+      << "width multiplier out of range: " << width_mult;
+  FUSE_CHECK(input_size >= 32 && input_size % 32 == 0)
+      << "input resolution must be a positive multiple of 32, got "
+      << input_size;
+  NetworkBuilder b("MobileNet-V2", 3, input_size, input_size, modes);
+  const Activation act = Activation::kRelu6;
+
+  b.conv("stem", scaled(32, width_mult), 3, 2, act);
+
+  // Inverted residual settings: expansion t, output channels c, repeats n,
+  // first-block stride s (Table 2 of the MobileNet-V2 paper).
+  const struct {
+    std::int64_t t, c, n, s;
+  } settings[] = {
+      {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},  {6, 64, 4, 2},
+      {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1},
+  };
+  int index = 0;
+  for (const auto& cfg : settings) {
+    const std::int64_t out_c = scaled(cfg.c, width_mult);
+    for (std::int64_t i = 0; i < cfg.n; ++i) {
+      const std::int64_t stride = (i == 0) ? cfg.s : 1;
+      const std::int64_t expand_c = b.channels() * cfg.t;
+      b.inverted_residual("block" + std::to_string(index++), expand_c,
+                          out_c, /*kernel=*/3, stride, /*use_se=*/false,
+                          act);
+    }
+  }
+
+  const std::int64_t head_c =
+      width_mult > 1.0 ? scaled(1280, width_mult) : 1280;
+  b.pointwise("head", head_c, act);
+  b.global_pool("pool");
+  b.fully_connected("classifier", 1000, Activation::kNone);
+  return b.finish();
+}
+
+NetworkModel build_network_scaled(NetworkId id, double width_mult,
+                                  const std::vector<core::FuseMode>& modes,
+                                  std::int64_t input_size) {
+  switch (id) {
+    case NetworkId::kMobileNetV1:
+      return mobilenet_v1(modes, width_mult, input_size);
+    case NetworkId::kMobileNetV2:
+      return mobilenet_v2(modes, width_mult, input_size);
+    default:
+      FUSE_CHECK(width_mult == 1.0 && input_size == 224)
+          << "width/resolution multipliers are defined for "
+             "MobileNet-V1/V2 only";
+      return build_network(id, modes);
+  }
+}
+
+}  // namespace fuse::nets

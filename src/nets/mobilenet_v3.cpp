@@ -1,0 +1,75 @@
+// MobileNet-V3 Large and Small (Howard et al. 2019), 224x224 input.
+// Block tables follow the paper's Tables 1 and 2 (as in torchvision).
+#include "nets/zoo.hpp"
+
+namespace fuse::nets {
+
+namespace {
+
+struct V3Block {
+  std::int64_t kernel;
+  std::int64_t expand_c;
+  std::int64_t out_c;
+  bool use_se;
+  Activation act;
+  std::int64_t stride;
+};
+
+NetworkModel build_v3(const std::string& name,
+                      const std::vector<V3Block>& blocks,
+                      std::int64_t last_conv_c, std::int64_t head_c,
+                      const std::vector<core::FuseMode>& modes) {
+  NetworkBuilder b(name, 3, 224, 224, modes);
+  b.conv("stem", 16, 3, 2, Activation::kHardSwish);
+
+  int index = 0;
+  for (const V3Block& blk : blocks) {
+    b.inverted_residual("block" + std::to_string(index++), blk.expand_c,
+                        blk.out_c, blk.kernel, blk.stride, blk.use_se,
+                        blk.act);
+  }
+
+  b.pointwise("last_conv", last_conv_c, Activation::kHardSwish);
+  b.global_pool("pool");
+  b.fully_connected("head", head_c, Activation::kHardSwish);
+  b.fully_connected("classifier", 1000, Activation::kNone);
+  return b.finish();
+}
+
+}  // namespace
+
+NetworkModel mobilenet_v3_large(const std::vector<core::FuseMode>& modes) {
+  const Activation re = Activation::kRelu;
+  const Activation hs = Activation::kHardSwish;
+  const std::vector<V3Block> blocks = {
+      // k, expand, out, SE,    act, stride
+      {3, 16, 16, false, re, 1},   {3, 64, 24, false, re, 2},
+      {3, 72, 24, false, re, 1},   {5, 72, 40, true, re, 2},
+      {5, 120, 40, true, re, 1},   {5, 120, 40, true, re, 1},
+      {3, 240, 80, false, hs, 2},  {3, 200, 80, false, hs, 1},
+      {3, 184, 80, false, hs, 1},  {3, 184, 80, false, hs, 1},
+      {3, 480, 112, true, hs, 1},  {3, 672, 112, true, hs, 1},
+      {5, 672, 160, true, hs, 2},  {5, 960, 160, true, hs, 1},
+      {5, 960, 160, true, hs, 1},
+  };
+  return build_v3("MobileNet-V3-Large", blocks, /*last_conv_c=*/960,
+                  /*head_c=*/1280, modes);
+}
+
+NetworkModel mobilenet_v3_small(const std::vector<core::FuseMode>& modes) {
+  const Activation re = Activation::kRelu;
+  const Activation hs = Activation::kHardSwish;
+  const std::vector<V3Block> blocks = {
+      // k, expand, out, SE,    act, stride
+      {3, 16, 16, true, re, 2},    {3, 72, 24, false, re, 2},
+      {3, 88, 24, false, re, 1},   {5, 96, 40, true, hs, 2},
+      {5, 240, 40, true, hs, 1},   {5, 240, 40, true, hs, 1},
+      {5, 120, 48, true, hs, 1},   {5, 144, 48, true, hs, 1},
+      {5, 288, 96, true, hs, 2},   {5, 576, 96, true, hs, 1},
+      {5, 576, 96, true, hs, 1},
+  };
+  return build_v3("MobileNet-V3-Small", blocks, /*last_conv_c=*/576,
+                  /*head_c=*/1024, modes);
+}
+
+}  // namespace fuse::nets

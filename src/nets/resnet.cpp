@@ -1,0 +1,59 @@
+// ResNet-50 (He et al. 2016), 224x224 input. Used only for the paper's
+// introduction claim: MobileNet-V2 has ~12x fewer MACs than ResNet-50 yet
+// runs only ~1.3x faster on a 32x32 systolic array.
+#include "nets/zoo.hpp"
+
+namespace fuse::nets {
+
+NetworkModel resnet50() {
+  NetworkBuilder b("ResNet-50", 3, 224, 224, /*modes=*/{});
+  const Activation act = Activation::kRelu;
+
+  b.conv("stem", 64, 7, 2, act);
+  b.max_pool("maxpool", 3, 2);
+
+  // Bottleneck stages: base (squeezed) width, block count, first stride.
+  const struct {
+    std::int64_t base_c;
+    std::int64_t blocks;
+    std::int64_t stride;
+  } stages[] = {
+      {64, 3, 1},
+      {128, 4, 2},
+      {256, 6, 2},
+      {512, 3, 2},
+  };
+  int stage_index = 0;
+  for (const auto& stage : stages) {
+    for (std::int64_t i = 0; i < stage.blocks; ++i) {
+      const std::string name = "stage" + std::to_string(stage_index) +
+                               "/block" + std::to_string(i);
+      const std::int64_t stride = (i == 0) ? stage.stride : 1;
+      const std::int64_t out_c = stage.base_c * 4;
+      const std::int64_t in_c = b.channels();
+      const std::int64_t in_h = b.height();
+      const std::int64_t in_w = b.width();
+
+      b.pointwise(name + "/reduce", stage.base_c, act);
+      b.conv(name + "/conv3x3", stage.base_c, 3, stride, act);
+      b.pointwise(name + "/expand", out_c, Activation::kNone);
+
+      // Projection shortcut (1x1, stride s) whenever the shape changes; it
+      // runs on the skip path, so it adds compute without altering the main
+      // path's tracked shape.
+      if (stride != 1 || in_c != out_c) {
+        b.side_layer(nn::make_conv("ResNet-50/" + name + "/proj", in_c,
+                                   in_h, in_w, out_c, /*kernel=*/1, stride,
+                                   /*pad=*/0, Activation::kNone));
+      }
+      b.residual_add(name + "/add");
+    }
+    ++stage_index;
+  }
+
+  b.global_pool("pool");
+  b.fully_connected("classifier", 1000, Activation::kNone);
+  return b.finish();
+}
+
+}  // namespace fuse::nets

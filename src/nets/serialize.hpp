@@ -1,0 +1,32 @@
+// Text serialization of lowered network models.
+//
+// A NetworkModel is fully described by its LayerDesc list, so a simple
+// line-oriented text format round-trips exactly. This lets users export a
+// lowered (possibly FuSe-transformed) network, inspect or version it, and
+// feed it back to the scheduler without rebuilding from the zoo.
+//
+// Format (one token stream per line; see docs/model_format.md):
+//   fusenet v1 name <name> slots <n> layers <m>
+//   layer <name> kind <kind> in <c> <h> <w> out <c> <h> <w>
+//     k <kh> <kw> s <sh> <sw> p <ph> <pw> g <groups> bias <0|1> bn <0|1>
+//     act <act> se <0|1> slot <i>        (all on one physical line)
+// Layer names must not contain whitespace (builder names never do).
+#pragma once
+
+#include <string>
+
+#include "nets/builder.hpp"
+
+namespace fuse::nets {
+
+/// Serializes the model to the text format above.
+std::string to_text(const NetworkModel& model);
+
+/// Parses a model back; throws fuse::util::Error on malformed input.
+NetworkModel from_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_network(const NetworkModel& model, const std::string& path);
+NetworkModel load_network(const std::string& path);
+
+}  // namespace fuse::nets

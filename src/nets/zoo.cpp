@@ -1,0 +1,113 @@
+#include "nets/zoo.hpp"
+
+#include "util/check.hpp"
+
+namespace fuse::nets {
+
+using core::NetworkVariant;
+
+std::string network_name(NetworkId id) {
+  switch (id) {
+    case NetworkId::kMobileNetV1:
+      return "MobileNet-V1";
+    case NetworkId::kMobileNetV2:
+      return "MobileNet-V2";
+    case NetworkId::kMobileNetV3Small:
+      return "MobileNet-V3-Small";
+    case NetworkId::kMobileNetV3Large:
+      return "MobileNet-V3-Large";
+    case NetworkId::kMnasNetB1:
+      return "MnasNet-B1";
+    case NetworkId::kResNet50:
+      return "ResNet-50";
+  }
+  return "?";
+}
+
+const std::vector<NetworkId>& paper_networks() {
+  static const std::vector<NetworkId> kNetworks = {
+      NetworkId::kMobileNetV1,      NetworkId::kMobileNetV2,
+      NetworkId::kMnasNetB1,        NetworkId::kMobileNetV3Small,
+      NetworkId::kMobileNetV3Large,
+  };
+  return kNetworks;
+}
+
+NetworkModel build_network(NetworkId id,
+                           const std::vector<core::FuseMode>& modes) {
+  switch (id) {
+    case NetworkId::kMobileNetV1:
+      return mobilenet_v1(modes);
+    case NetworkId::kMobileNetV2:
+      return mobilenet_v2(modes);
+    case NetworkId::kMobileNetV3Small:
+      return mobilenet_v3_small(modes);
+    case NetworkId::kMobileNetV3Large:
+      return mobilenet_v3_large(modes);
+    case NetworkId::kMnasNetB1:
+      return mnasnet_b1(modes);
+    case NetworkId::kResNet50:
+      FUSE_CHECK(modes.empty())
+          << "ResNet-50 has no depthwise layers to fuse";
+      return resnet50();
+  }
+  FUSE_CHECK(false) << "unknown network id";
+  return {};
+}
+
+int num_fuse_slots(NetworkId id) {
+  return build_network(id).num_slots;
+}
+
+std::vector<PaperTable1Row> paper_table1(NetworkId id) {
+  // Transcribed from Table I of the paper: ImageNet top-1 accuracy (%),
+  // MACs (millions), params (millions), speedup on a 64x64 array.
+  switch (id) {
+    case NetworkId::kMobileNetV1:
+      return {
+          {NetworkVariant::kBaseline, 70.60, 589, 4.23, 1.0},
+          {NetworkVariant::kFuseFull, 72.86, 1122, 7.36, 4.1},
+          {NetworkVariant::kFuseHalf, 72.00, 573, 4.20, 6.76},
+          {NetworkVariant::kFuseFull50, 72.42, 764, 4.35, 2.2},
+          {NetworkVariant::kFuseHalf50, 71.77, 578, 4.22, 2.36},
+      };
+    case NetworkId::kMobileNetV2:
+      return {
+          {NetworkVariant::kBaseline, 72.00, 315, 3.50, 1.0},
+          {NetworkVariant::kFuseFull, 72.49, 430, 4.46, 5.1},
+          {NetworkVariant::kFuseHalf, 70.80, 300, 3.46, 7.23},
+          {NetworkVariant::kFuseFull50, 72.11, 361, 3.61, 2.0},
+          {NetworkVariant::kFuseHalf50, 71.98, 305, 3.49, 2.1},
+      };
+    case NetworkId::kMnasNetB1:
+      return {
+          {NetworkVariant::kBaseline, 73.50, 325, 4.38, 1.0},
+          {NetworkVariant::kFuseFull, 73.16, 440, 5.66, 5.06},
+          {NetworkVariant::kFuseHalf, 71.48, 305, 4.25, 7.15},
+          {NetworkVariant::kFuseFull50, 73.52, 361, 4.47, 1.88},
+          {NetworkVariant::kFuseHalf50, 72.61, 312, 4.35, 1.97},
+      };
+    case NetworkId::kMobileNetV3Small:
+      return {
+          {NetworkVariant::kBaseline, 67.40, 66, 2.93, 1.0},
+          {NetworkVariant::kFuseFull, 67.17, 84, 4.44, 3.02},
+          {NetworkVariant::kFuseHalf, 64.55, 61, 2.89, 4.16},
+          {NetworkVariant::kFuseFull50, 67.91, 73, 3.18, 1.6},
+          {NetworkVariant::kFuseHalf50, 66.90, 63, 2.92, 1.68},
+      };
+    case NetworkId::kMobileNetV3Large:
+      return {
+          {NetworkVariant::kBaseline, 75.20, 238, 5.47, 1.0},
+          {NetworkVariant::kFuseFull, 74.40, 322, 10.57, 3.61},
+          {NetworkVariant::kFuseHalf, 73.02, 225, 5.40, 5.45},
+          {NetworkVariant::kFuseFull50, 74.50, 264, 5.57, 1.76},
+          {NetworkVariant::kFuseHalf50, 73.80, 230, 5.46, 1.83},
+      };
+    case NetworkId::kResNet50:
+      return {};
+  }
+  FUSE_CHECK(false) << "unknown network id";
+  return {};
+}
+
+}  // namespace fuse::nets

@@ -1,0 +1,75 @@
+// The network zoo: the five networks of the paper's evaluation (§V-A1)
+// plus ResNet-50 for the introduction's motivating comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transform.hpp"
+#include "nets/builder.hpp"
+
+namespace fuse::nets {
+
+enum class NetworkId {
+  kMobileNetV1,
+  kMobileNetV2,
+  kMobileNetV3Small,
+  kMobileNetV3Large,
+  kMnasNetB1,
+  kResNet50,
+};
+
+/// "MobileNet-V1", ... matching Table I labels.
+std::string network_name(NetworkId id);
+
+/// The five networks evaluated in Table I, in the paper's order.
+const std::vector<NetworkId>& paper_networks();
+
+/// Builds a network with per-slot FuSe modes ({} = all baseline).
+/// Input is the ImageNet geometry 3x224x224.
+NetworkModel build_network(NetworkId id,
+                           const std::vector<core::FuseMode>& modes = {});
+
+/// Number of replaceable depthwise slots.
+int num_fuse_slots(NetworkId id);
+
+/// Builds a width- and resolution-scaled MobileNet (V1 or V2 only — the
+/// networks the original papers define these multipliers for). Channel
+/// counts scale by `width_mult` rounded with make_divisible; `input_size`
+/// is the square input resolution (the papers use 128..224). The
+/// fuse-slot count is unchanged, so the same `modes` vectors apply.
+NetworkModel build_network_scaled(NetworkId id, double width_mult,
+                                  const std::vector<core::FuseMode>& modes =
+                                      {},
+                                  std::int64_t input_size = 224);
+
+// Individual builders (exposed for tests).
+NetworkModel mobilenet_v1(const std::vector<core::FuseMode>& modes,
+                          double width_mult = 1.0,
+                          std::int64_t input_size = 224);
+NetworkModel mobilenet_v2(const std::vector<core::FuseMode>& modes,
+                          double width_mult = 1.0,
+                          std::int64_t input_size = 224);
+NetworkModel mobilenet_v3_small(const std::vector<core::FuseMode>& modes);
+NetworkModel mobilenet_v3_large(const std::vector<core::FuseMode>& modes);
+NetworkModel mnasnet_b1(const std::vector<core::FuseMode>& modes);
+NetworkModel resnet50();
+
+/// Paper-reported reference row of Table I (accuracy was measured on
+/// ImageNet by the authors; carried here as reference data because this
+/// repo substitutes a synthetic-dataset study for ImageNet training — see
+/// DESIGN.md).
+struct PaperTable1Row {
+  core::NetworkVariant variant;
+  double imagenet_accuracy = 0.0;  // %
+  double macs_millions = 0.0;
+  double params_millions = 0.0;
+  double speedup = 0.0;  // on a 64x64 array vs the network's baseline
+};
+
+/// Table I rows for one network (5 rows, Table-I order). Empty for
+/// kResNet50 (not part of Table I).
+std::vector<PaperTable1Row> paper_table1(NetworkId id);
+
+}  // namespace fuse::nets

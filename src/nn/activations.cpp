@@ -1,0 +1,99 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fuse::nn {
+
+float apply_activation(float x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0F ? x : 0.0F;
+    case Activation::kRelu6:
+      return std::clamp(x, 0.0F, 6.0F);
+    case Activation::kHardSwish:
+      return x * std::clamp(x + 3.0F, 0.0F, 6.0F) / 6.0F;
+    case Activation::kHardSigmoid:
+      return std::clamp(x + 3.0F, 0.0F, 6.0F) / 6.0F;
+    case Activation::kSigmoid:
+      return 1.0F / (1.0F + std::exp(-x));
+  }
+  FUSE_CHECK(false) << "unknown activation";
+  return 0.0F;
+}
+
+tensor::Tensor apply_activation(const tensor::Tensor& input, Activation act) {
+  tensor::Tensor out = input;
+  if (act == Activation::kNone) {
+    return out;
+  }
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    out[i] = apply_activation(out[i], act);
+  }
+  return out;
+}
+
+float activation_grad(float x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return 1.0F;
+    case Activation::kRelu:
+      return x > 0.0F ? 1.0F : 0.0F;
+    case Activation::kRelu6:
+      return (x > 0.0F && x < 6.0F) ? 1.0F : 0.0F;
+    case Activation::kHardSwish: {
+      if (x <= -3.0F) {
+        return 0.0F;
+      }
+      if (x >= 3.0F) {
+        return 1.0F;
+      }
+      return (2.0F * x + 3.0F) / 6.0F;
+    }
+    case Activation::kHardSigmoid:
+      return (x > -3.0F && x < 3.0F) ? 1.0F / 6.0F : 0.0F;
+    case Activation::kSigmoid: {
+      const float s = apply_activation(x, Activation::kSigmoid);
+      return s * (1.0F - s);
+    }
+  }
+  FUSE_CHECK(false) << "unknown activation";
+  return 0.0F;
+}
+
+Activation activation_from_name(const std::string& name) {
+  for (Activation act :
+       {Activation::kNone, Activation::kRelu, Activation::kRelu6,
+        Activation::kHardSwish, Activation::kHardSigmoid,
+        Activation::kSigmoid}) {
+    if (activation_name(act) == name) {
+      return act;
+    }
+  }
+  FUSE_CHECK(false) << "unknown activation name '" << name << "'";
+  return Activation::kNone;
+}
+
+std::string activation_name(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kRelu6:
+      return "relu6";
+    case Activation::kHardSwish:
+      return "hswish";
+    case Activation::kHardSigmoid:
+      return "hsigmoid";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+}  // namespace fuse::nn

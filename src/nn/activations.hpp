@@ -1,0 +1,34 @@
+// Activation functions used by the MobileNet/MnasNet family.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace fuse::nn {
+
+enum class Activation {
+  kNone,
+  kRelu,
+  kRelu6,
+  kHardSwish,    // x * relu6(x + 3) / 6 (MobileNet-V3)
+  kHardSigmoid,  // relu6(x + 3) / 6 (squeeze-excite gate in V3)
+  kSigmoid,
+};
+
+/// Scalar activation.
+float apply_activation(float x, Activation act);
+
+/// Elementwise activation over a whole tensor.
+tensor::Tensor apply_activation(const tensor::Tensor& input, Activation act);
+
+/// Derivative with respect to the pre-activation input (used by training).
+float activation_grad(float x, Activation act);
+
+/// "relu6", "hswish", ... for reports.
+std::string activation_name(Activation act);
+
+/// Inverse of activation_name; throws on unknown names.
+Activation activation_from_name(const std::string& name);
+
+}  // namespace fuse::nn

@@ -1,0 +1,86 @@
+// Neural Operator Search (NOS) — the paper's concluding proposal made
+// concrete: "framing FuSeConv as the result of a manual operator search,
+// our work motivates automated Network Operator Search in complement to
+// NAS."
+//
+// The search space here is exactly the paper's: each depthwise slot
+// independently chooses {baseline depthwise, FuSe-Full, FuSe-Half}. The
+// objective is end-to-end latency on a given array; the constraint is a
+// parameter budget relative to the baseline network (parameters serve as
+// the capacity/accuracy proxy, following Table I where the Full variant's
+// extra parameters buy back the Half variant's accuracy loss).
+//
+// Because each slot's layers (dw/fuse + SE + projection) are disjoint,
+// both latency and parameters decompose per slot, and the constrained
+// problem is a small knapsack solved exactly by dynamic programming over
+// quantized parameter counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transform.hpp"
+#include "sched/latency.hpp"
+
+namespace fuse::nos {
+
+using core::FuseMode;
+using nets::NetworkId;
+using systolic::ArrayConfig;
+
+struct NosConfig {
+  /// Total parameters may not exceed `max_params_ratio` x baseline.
+  double max_params_ratio = 1.10;
+
+  /// Knapsack quantization of per-slot parameter counts (smaller = more
+  /// exact, more DP states).
+  std::int64_t param_granularity = 1024;
+};
+
+/// Per-slot option costs, exposed for inspection and tests.
+struct SlotOption {
+  FuseMode mode = FuseMode::kBaseline;
+  std::uint64_t cycles = 0;  // this slot's layers on the array
+  std::uint64_t params = 0;  // this slot's layers' parameters
+};
+
+struct NosResult {
+  std::vector<FuseMode> modes;   // chosen operator per slot
+  std::uint64_t cycles = 0;      // whole network
+  std::uint64_t params = 0;      // whole network
+  double speedup = 1.0;          // vs all-baseline on the same array
+  double params_ratio = 1.0;     // vs all-baseline
+  std::vector<std::vector<SlotOption>> options;  // [slot][mode]
+
+  /// e.g. "FHHB F..." one letter per slot (B/F/H).
+  std::string modes_string() const;
+};
+
+/// Exact DP search minimizing latency under the parameter budget.
+/// Note: on arrays where FuSe-Half dominates both axes (fewer params AND
+/// fewer cycles per slot, as on the paper's 64x64), this degenerates to
+/// all-Half — which is itself a finding. The interesting trade-off runs
+/// the other way; see search_capacity.
+NosResult search_operators(NetworkId id, const ArrayConfig& cfg,
+                           const NosConfig& config);
+
+/// The dual search: MAXIMIZE parameters (the capacity/accuracy proxy that
+/// Table I shows buying accuracy for the Full variant) subject to a
+/// latency budget of `max_cycles_ratio` x the baseline network's latency.
+/// This answers the deployment question "I have a latency target — give me
+/// the most capable operator mix", and is where Full/Half/baseline
+/// genuinely compete per slot.
+struct NosLatencyBudgetConfig {
+  double max_cycles_ratio = 0.25;       // vs all-baseline latency
+  std::int64_t cycle_granularity = 256; // DP quantization
+};
+NosResult search_capacity(NetworkId id, const ArrayConfig& cfg,
+                          const NosLatencyBudgetConfig& config);
+
+/// The per-slot option table (building block of the search; also useful
+/// for plotting the per-slot design space).
+std::vector<std::vector<SlotOption>> slot_options(NetworkId id,
+                                                  const ArrayConfig& cfg);
+
+}  // namespace fuse::nos

@@ -1,0 +1,120 @@
+#include "ria/algorithms.hpp"
+
+namespace fuse::ria {
+
+AlgorithmSpec matmul_spec() {
+  AlgorithmSpec spec;
+  spec.name = "matrix multiplication";
+  spec.index_names = {"i", "j", "k"};
+
+  Recurrence c;
+  c.lhs_var = "C";
+  c.description = "C[i,j,k] = C[i,j,k-1] + A[i,j,k] * B[i,j,k]";
+  // Pipelined operands: A propagates along j, B along i (Fig. 1(c)); after
+  // uniformization every access is at a constant offset.
+  c.rhs.push_back(VarAccess{
+      "C", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, 0),
+            IndexExpr::var_plus(2, -1)}});
+  c.rhs.push_back(VarAccess{
+      "A", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, -1),
+            IndexExpr::var_plus(2, 0)}});
+  c.rhs.push_back(VarAccess{
+      "B", {IndexExpr::var_plus(0, -1), IndexExpr::var_plus(1, 0),
+            IndexExpr::var_plus(2, 0)}});
+  spec.relations.push_back(std::move(c));
+  return spec;
+}
+
+AlgorithmSpec conv1d_spec(std::int64_t /*kernel*/) {
+  AlgorithmSpec spec;
+  spec.name = "1-D convolution";
+  spec.index_names = {"i", "k"};
+
+  Recurrence c;
+  c.lhs_var = "C";
+  c.description = "C[i,k] = C[i,k-1] + A[i+k] * B[k]";
+  // A[i+k] in single-assignment form is A[i,k] propagated along the
+  // diagonal: A[i,k] = A[i+1,k-1]; B[k] broadcasts along i: B[i,k] =
+  // B[i-1,k]. All offsets constant.
+  c.rhs.push_back(VarAccess{
+      "C", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, -1)}});
+  c.rhs.push_back(VarAccess{
+      "A", {IndexExpr::var_plus(0, 1), IndexExpr::var_plus(1, -1)}});
+  c.rhs.push_back(VarAccess{
+      "B", {IndexExpr::var_plus(0, -1), IndexExpr::var_plus(1, 0)}});
+  spec.relations.push_back(std::move(c));
+  return spec;
+}
+
+AlgorithmSpec conv2d_naive_spec(std::int64_t kernel) {
+  AlgorithmSpec spec;
+  spec.name = "2-D convolution (kernel loops flattened to k)";
+  spec.index_names = {"i", "j", "k"};
+
+  Recurrence c;
+  c.lhs_var = "C";
+  c.description =
+      "C[i,j,k] = C[i,j,k-1] + A[i+floor(k/K), j+k%K] * B[floor(k/K), k%K]";
+  c.rhs.push_back(VarAccess{
+      "C", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, 0),
+            IndexExpr::var_plus(2, -1)}});
+  // The A access: dimension 0 reads i + floor(k/K) — not i + const;
+  // dimension 1 reads j + k%K — not j + const. We conservatively express
+  // each offending dimension with the non-affine expression itself.
+  c.rhs.push_back(VarAccess{
+      "A", {IndexExpr::floor_div(2, kernel), IndexExpr::mod(2, kernel),
+            IndexExpr::var_plus(2, 0)}});
+  c.rhs.push_back(VarAccess{
+      "B", {IndexExpr::floor_div(2, kernel), IndexExpr::mod(2, kernel),
+            IndexExpr::var_plus(2, 0)}});
+  spec.relations.push_back(std::move(c));
+  return spec;
+}
+
+AlgorithmSpec conv2d_im2col_spec() {
+  AlgorithmSpec spec;
+  spec.name = "2-D convolution after im2col (matmul on A', B')";
+  spec.index_names = {"r", "k"};
+
+  Recurrence c;
+  c.lhs_var = "C";
+  c.description = "C[r,k] = C[r,k-1] + A'[r,k] * B'[k]";
+  c.rhs.push_back(VarAccess{
+      "C", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, -1)}});
+  c.rhs.push_back(VarAccess{
+      "A'", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, 0)}});
+  c.rhs.push_back(VarAccess{
+      "B'", {IndexExpr::var_plus(0, -1), IndexExpr::var_plus(1, 0)}});
+  spec.relations.push_back(std::move(c));
+  return spec;
+}
+
+AlgorithmSpec pointwise_conv_spec() {
+  AlgorithmSpec spec;
+  spec.name = "pointwise (1x1) convolution";
+  spec.index_names = {"p", "f", "c"};  // position, filter, channel
+
+  Recurrence out;
+  out.lhs_var = "C";
+  out.description = "C[p,f,c] = C[p,f,c-1] + A[p,c] * B[c,f]";
+  // Structurally identical to matmul: A propagates along f, B along p.
+  out.rhs.push_back(VarAccess{
+      "C", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, 0),
+            IndexExpr::var_plus(2, -1)}});
+  out.rhs.push_back(VarAccess{
+      "A", {IndexExpr::var_plus(0, 0), IndexExpr::var_plus(1, -1),
+            IndexExpr::var_plus(2, 0)}});
+  out.rhs.push_back(VarAccess{
+      "B", {IndexExpr::var_plus(0, -1), IndexExpr::var_plus(1, 0),
+            IndexExpr::var_plus(2, 0)}});
+  spec.relations.push_back(std::move(out));
+  return spec;
+}
+
+AlgorithmSpec depthwise_conv_spec(std::int64_t kernel) {
+  AlgorithmSpec spec = conv2d_naive_spec(kernel);
+  spec.name = "depthwise convolution (independent 2-D convs per channel)";
+  return spec;
+}
+
+}  // namespace fuse::ria

@@ -1,0 +1,42 @@
+// Canonical algorithm specifications studied by the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "ria/ria.hpp"
+
+namespace fuse::ria {
+
+/// Matrix multiplication C[i,j,k] = C[i,j,k-1] + A[i,k]*B[k,j], written
+/// with the single-assignment third index (paper Fig. 1(b)). An RIA.
+AlgorithmSpec matmul_spec();
+
+/// 1-D convolution C[i,k] = C[i,k-1] + A[i+k]*B[k] over iteration (i,k)
+/// (paper Fig. 7(a)). An RIA.
+AlgorithmSpec conv1d_spec(std::int64_t kernel);
+
+/// Naive 2-D convolution with the two kernel loops flattened into one
+/// single-assignment index k (paper Fig. 2(b)):
+///   C[i,j,k] = C[i,j,k-1] + A[i+floor(k/K), j+k%K] * B[floor(k/K), k%K]
+/// NOT an RIA: the offsets to A and B depend on k.
+AlgorithmSpec conv2d_naive_spec(std::int64_t kernel);
+
+/// 2-D convolution after the im2col transformation: the patch matrix A' and
+/// flattened kernel B' turn the computation into a matmul with a single
+/// output column per depthwise channel (paper Fig. 2(c)). An RIA again —
+/// the transformation is what restores constant offsets.
+AlgorithmSpec conv2d_im2col_spec();
+
+/// Pointwise (1x1) convolution: for each spatial position, a vector dot
+/// product across channels — C[p,f,c] = C[p,f,c-1] + A[p,c]*B[c,f], i.e.
+/// a matmul over (positions, filters, channels). The paper's §IV-B: "the
+/// other operation in a FuSeConv layer, point-wise convolution, is a
+/// vector dot-product and is also a systolic algorithm". An RIA.
+AlgorithmSpec pointwise_conv_spec();
+
+/// Depthwise convolution expressed channel-by-channel without any
+/// transformation; same structure as conv2d_naive_spec with a channel index
+/// along which no computation flows. NOT an RIA.
+AlgorithmSpec depthwise_conv_spec(std::int64_t kernel);
+
+}  // namespace fuse::ria

@@ -1,0 +1,189 @@
+#include "ria/ria.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fuse::ria {
+
+IndexExpr IndexExpr::var_plus(int dim, std::int64_t offset) {
+  FUSE_CHECK(dim >= 0) << "index dimension must be non-negative";
+  IndexExpr e;
+  e.kind_ = Kind::kAffine;
+  e.coeffs_.assign(static_cast<std::size_t>(dim) + 1, 0);
+  e.coeffs_[static_cast<std::size_t>(dim)] = 1;
+  e.constant_ = offset;
+  return e;
+}
+
+IndexExpr IndexExpr::affine(std::vector<std::int64_t> coeffs,
+                            std::int64_t constant) {
+  IndexExpr e;
+  e.kind_ = Kind::kAffine;
+  e.coeffs_ = std::move(coeffs);
+  e.constant_ = constant;
+  return e;
+}
+
+IndexExpr IndexExpr::constant(std::int64_t value) {
+  return affine({}, value);
+}
+
+IndexExpr IndexExpr::floor_div(int dim, std::int64_t divisor) {
+  FUSE_CHECK(dim >= 0 && divisor > 0) << "floor_div(dim, divisor>0)";
+  IndexExpr e;
+  e.kind_ = Kind::kFloorDiv;
+  e.dim_ = dim;
+  e.divisor_ = divisor;
+  return e;
+}
+
+IndexExpr IndexExpr::mod(int dim, std::int64_t divisor) {
+  FUSE_CHECK(dim >= 0 && divisor > 0) << "mod(dim, divisor>0)";
+  IndexExpr e;
+  e.kind_ = Kind::kMod;
+  e.dim_ = dim;
+  e.divisor_ = divisor;
+  return e;
+}
+
+std::optional<std::int64_t> IndexExpr::offset_from(int dim) const {
+  if (kind_ != Kind::kAffine) {
+    return std::nullopt;
+  }
+  // Must be exactly 1 * idx[dim] + c: coefficient 1 at `dim`, 0 elsewhere.
+  for (std::size_t d = 0; d < coeffs_.size(); ++d) {
+    const std::int64_t expected =
+        (static_cast<int>(d) == dim) ? 1 : 0;
+    if (coeffs_[d] != expected) {
+      return std::nullopt;
+    }
+  }
+  if (static_cast<std::size_t>(dim) >= coeffs_.size()) {
+    return std::nullopt;  // coefficient of idx[dim] is implicitly 0
+  }
+  return constant_;
+}
+
+std::string IndexExpr::to_string(
+    const std::vector<std::string>& index_names) const {
+  const auto name = [&](int dim) -> std::string {
+    if (dim >= 0 && static_cast<std::size_t>(dim) < index_names.size()) {
+      return index_names[static_cast<std::size_t>(dim)];
+    }
+    return "x" + std::to_string(dim);
+  };
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kAffine: {
+      bool first = true;
+      for (std::size_t d = 0; d < coeffs_.size(); ++d) {
+        if (coeffs_[d] == 0) {
+          continue;
+        }
+        if (!first) {
+          out << (coeffs_[d] > 0 ? "+" : "");
+        }
+        if (coeffs_[d] == -1) {
+          out << '-';
+        } else if (coeffs_[d] != 1) {
+          out << coeffs_[d] << '*';
+        }
+        out << name(static_cast<int>(d));
+        first = false;
+      }
+      if (constant_ != 0 || first) {
+        if (!first && constant_ > 0) {
+          out << '+';
+        }
+        out << constant_;
+      }
+      break;
+    }
+    case Kind::kFloorDiv:
+      out << "floor(" << name(dim_) << "/" << divisor_ << ")";
+      break;
+    case Kind::kMod:
+      out << name(dim_) << "%" << divisor_;
+      break;
+  }
+  return out.str();
+}
+
+RiaAnalysis analyze(const AlgorithmSpec& spec) {
+  RiaAnalysis result;
+  result.is_ria = true;
+  const int rank = static_cast<int>(spec.index_names.size());
+
+  for (std::size_t r = 0; r < spec.relations.size(); ++r) {
+    const Recurrence& rel = spec.relations[r];
+    for (const VarAccess& access : rel.rhs) {
+      FUSE_CHECK(static_cast<int>(access.indices.size()) == rank)
+          << "access to " << access.var << " in relation " << r << " has "
+          << access.indices.size() << " indices, iteration rank is " << rank;
+      bool constant_offsets = true;
+      std::vector<std::int64_t> offsets(static_cast<std::size_t>(rank), 0);
+      for (int d = 0; d < rank; ++d) {
+        const IndexExpr& expr =
+            access.indices[static_cast<std::size_t>(d)];
+        const auto offset = expr.offset_from(d);
+        if (!offset.has_value()) {
+          constant_offsets = false;
+          result.is_ria = false;
+          result.violations.push_back(RiaViolation{
+              static_cast<int>(r), access.var, d,
+              "index expression '" + expr.to_string(spec.index_names) +
+                  "' is not '" + spec.index_names[static_cast<std::size_t>(d)] +
+                  " + const'"});
+        } else {
+          offsets[static_cast<std::size_t>(d)] = *offset;
+        }
+      }
+      if (constant_offsets) {
+        // Dependence vector points from producer to consumer:
+        // LHS index - RHS index = -offsets.
+        std::vector<std::int64_t> dependence(offsets.size());
+        for (std::size_t d = 0; d < offsets.size(); ++d) {
+          dependence[d] = -offsets[d];
+        }
+        result.dependences.push_back(RiaAnalysis::Dependence{
+            access.var, access.var == rel.lhs_var, std::move(dependence)});
+      }
+    }
+  }
+  return result;
+}
+
+std::string RiaAnalysis::report(const AlgorithmSpec& spec) const {
+  std::ostringstream out;
+  out << "algorithm: " << spec.name << "\n";
+  out << "iteration vector: (";
+  for (std::size_t d = 0; d < spec.index_names.size(); ++d) {
+    out << (d != 0 ? ", " : "") << spec.index_names[d];
+  }
+  out << ")\n";
+  for (const Recurrence& rel : spec.relations) {
+    out << "  " << rel.description << "\n";
+  }
+  if (is_ria) {
+    out << "verdict: RIA (all index offsets constant)\n";
+    out << "dependence vectors (consumer - producer):\n";
+    for (const Dependence& dep : dependences) {
+      out << "  " << dep.var << (dep.self ? " [self]" : " [input]") << ": (";
+      for (std::size_t d = 0; d < dep.vector.size(); ++d) {
+        out << (d != 0 ? ", " : "") << dep.vector[d];
+      }
+      out << ")\n";
+    }
+  } else {
+    out << "verdict: NOT an RIA\n";
+    for (const RiaViolation& v : violations) {
+      out << "  relation " << v.relation << ", variable " << v.rhs_var
+          << ", dim " << spec.index_names[static_cast<std::size_t>(v.dimension)]
+          << ": " << v.reason << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fuse::ria

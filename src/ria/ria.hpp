@@ -1,0 +1,118 @@
+// Regular Iterative Algorithm (RIA) formalism (Rao & Kailath 1988),
+// as used in the paper's Section III to show that matrix multiplication and
+// 1-D convolution are systolic algorithms while naive 2-D convolution is
+// not.
+//
+// An algorithm is a set of recurrence relations over variables indexed by
+// the iteration vector (single-assignment form). It is an RIA iff, in every
+// relation, the difference between the LHS index vector (always the plain
+// iteration vector here) and each RHS index expression is a constant —
+// i.e., each RHS index along dimension d is exactly idx[d] + c. Index
+// expressions like floor(k/K) or k mod K (which appear when one flattens
+// the two kernel loops of a 2-D convolution) violate this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fuse::ria {
+
+/// One index expression of an RHS variable access, a function of the
+/// iteration vector.
+class IndexExpr {
+ public:
+  enum class Kind {
+    kAffine,    // sum(coeffs[d] * idx[d]) + constant
+    kFloorDiv,  // floor(idx[dim] / divisor)
+    kMod,       // idx[dim] mod divisor
+  };
+
+  /// idx[dim] + offset — the only form an RIA permits.
+  static IndexExpr var_plus(int dim, std::int64_t offset);
+
+  /// General affine combination of iteration indices.
+  static IndexExpr affine(std::vector<std::int64_t> coeffs,
+                          std::int64_t constant);
+
+  /// Constant expression (affine with zero coefficients).
+  static IndexExpr constant(std::int64_t value);
+
+  /// floor(idx[dim] / divisor).
+  static IndexExpr floor_div(int dim, std::int64_t divisor);
+
+  /// idx[dim] mod divisor.
+  static IndexExpr mod(int dim, std::int64_t divisor);
+
+  Kind kind() const { return kind_; }
+
+  /// If the expression is exactly idx[dim] + c for the queried dim, returns
+  /// c; otherwise nullopt. This encodes the RIA constant-offset test.
+  std::optional<std::int64_t> offset_from(int dim) const;
+
+  /// Renders e.g. "k+1", "floor(k/3)", "i-j".
+  std::string to_string(const std::vector<std::string>& index_names) const;
+
+ private:
+  IndexExpr() = default;
+
+  Kind kind_ = Kind::kAffine;
+  std::vector<std::int64_t> coeffs_;  // affine only
+  std::int64_t constant_ = 0;         // affine only
+  int dim_ = 0;                       // floordiv/mod only
+  std::int64_t divisor_ = 1;          // floordiv/mod only
+};
+
+/// An access to variable `var` at the given index expressions.
+struct VarAccess {
+  std::string var;
+  std::vector<IndexExpr> indices;
+};
+
+/// One recurrence relation. The LHS is implicitly the variable accessed at
+/// the plain iteration vector (single-assignment form).
+struct Recurrence {
+  std::string lhs_var;
+  std::vector<VarAccess> rhs;
+  std::string description;  // human-readable form for reports
+};
+
+/// A complete algorithm specification.
+struct AlgorithmSpec {
+  std::string name;
+  std::vector<std::string> index_names;  // iteration vector, e.g. {i, j, k}
+  std::vector<Recurrence> relations;
+};
+
+/// One failed constant-offset check.
+struct RiaViolation {
+  int relation = 0;      // index into AlgorithmSpec::relations
+  std::string rhs_var;   // offending variable
+  int dimension = 0;     // offending index dimension
+  std::string reason;    // e.g. "index expression floor(k/3) is not k + c"
+};
+
+/// Result of the RIA test plus the dependence vectors it implies.
+struct RiaAnalysis {
+  bool is_ria = false;
+  std::vector<RiaViolation> violations;
+
+  /// For each (relation, rhs access) with constant offsets: the dependence
+  /// vector LHS_index - RHS_index (only meaningful for accesses to the
+  /// LHS's own variable; others are input propagation vectors).
+  struct Dependence {
+    std::string var;
+    bool self = false;  // RHS var == LHS var (a true data dependence)
+    std::vector<std::int64_t> vector;
+  };
+  std::vector<Dependence> dependences;
+
+  /// Multi-line report mirroring the paper's Fig. 1(b)/2(b) discussion.
+  std::string report(const AlgorithmSpec& spec) const;
+};
+
+/// Runs the constant-offset test on every relation.
+RiaAnalysis analyze(const AlgorithmSpec& spec);
+
+}  // namespace fuse::ria

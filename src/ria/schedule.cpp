@@ -1,0 +1,165 @@
+#include "ria/schedule.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fuse::ria {
+
+namespace {
+
+std::int64_t dot(const std::vector<std::int64_t>& a,
+                 const std::vector<std::int64_t>& b) {
+  FUSE_CHECK(a.size() == b.size()) << "dot on mismatched ranks";
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += a[i] * b[i];
+  }
+  return total;
+}
+
+/// Enumerates all vectors of the given rank with entries in [-bound, bound].
+bool next_vector(std::vector<std::int64_t>& v, int bound) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] < bound) {
+      ++v[i];
+      return true;
+    }
+    v[i] = -bound;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SystolicSchedule::to_string(
+    const std::vector<std::string>& index_names) const {
+  std::ostringstream out;
+  const auto print = [&](const char* label,
+                         const std::vector<std::int64_t>& v) {
+    out << label << " = (";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out << (i != 0 ? ", " : "") << v[i];
+    }
+    out << ")";
+  };
+  print("lambda", time);
+  out << ", ";
+  print("u", projection);
+  out << " -> " << processor_rank << "-D processor array";
+  (void)index_names;
+  return out.str();
+}
+
+std::optional<SystolicSchedule> find_schedule(const RiaAnalysis& analysis,
+                                              int rank, int bound) {
+  if (!analysis.is_ria) {
+    return std::nullopt;
+  }
+  FUSE_CHECK(rank > 0) << "schedule search needs positive rank";
+  FUSE_CHECK(bound >= 1) << "schedule search bound must be >= 1";
+
+  std::vector<std::int64_t> lambda(static_cast<std::size_t>(rank), -bound);
+  do {
+    bool ok = true;
+    for (const RiaAnalysis::Dependence& dep : analysis.dependences) {
+      const std::int64_t product = dot(lambda, dep.vector);
+      // Self dependences must advance strictly in time; input propagation
+      // must at least not travel backwards.
+      if (dep.self ? product < 1 : product < 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    // Find a projection direction not orthogonal to time (so no two
+    // iterations mapped to the same PE share a time step). Prefer unit
+    // vectors — they give the familiar array layouts.
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      std::vector<std::int64_t> u(static_cast<std::size_t>(rank), 0);
+      u[static_cast<std::size_t>(axis)] = 1;
+      if (dot(lambda, u) != 0) {
+        SystolicSchedule schedule;
+        schedule.time = lambda;
+        schedule.projection = std::move(u);
+        schedule.processor_rank = rank - 1;
+        return schedule;
+      }
+    }
+  } while (next_vector(lambda, bound));
+  return std::nullopt;
+}
+
+std::vector<SystolicSchedule> enumerate_schedules(
+    const RiaAnalysis& analysis, int rank, int bound) {
+  std::vector<SystolicSchedule> schedules;
+  if (!analysis.is_ria) {
+    return schedules;
+  }
+  FUSE_CHECK(rank > 0 && bound >= 1) << "bad enumerate_schedules args";
+
+  std::vector<std::int64_t> lambda(static_cast<std::size_t>(rank), -bound);
+  do {
+    bool ok = true;
+    for (const RiaAnalysis::Dependence& dep : analysis.dependences) {
+      const std::int64_t product = dot(lambda, dep.vector);
+      if (dep.self ? product < 1 : product < 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    for (int axis = 0; axis < rank; ++axis) {
+      std::vector<std::int64_t> u(static_cast<std::size_t>(rank), 0);
+      u[static_cast<std::size_t>(axis)] = 1;
+      if (dot(lambda, u) != 0) {
+        SystolicSchedule schedule;
+        schedule.time = lambda;
+        schedule.projection = std::move(u);
+        schedule.processor_rank = rank - 1;
+        schedules.push_back(std::move(schedule));
+      }
+    }
+  } while (next_vector(lambda, bound));
+  return schedules;
+}
+
+std::string stationary_operand(const SystolicSchedule& schedule) {
+  // Unit projection along axis d collapses that axis onto time: the
+  // variable whose recurrence moves along d stays in one PE. For the
+  // matmul layout: B broadcasts along i, A along j, C accumulates along k.
+  int axis = -1;
+  for (std::size_t d = 0; d < schedule.projection.size(); ++d) {
+    if (schedule.projection[d] == 1 && axis < 0) {
+      axis = static_cast<int>(d);
+    } else if (schedule.projection[d] != 0) {
+      return "?";  // non-unit projection
+    }
+  }
+  switch (axis) {
+    case 0:
+      return "B stationary (weight stationary)";
+    case 1:
+      return "A stationary (input stationary)";
+    case 2:
+      return "C stationary (output stationary)";
+    default:
+      return "?";
+  }
+}
+
+bool is_systolic_algorithm(const AlgorithmSpec& spec) {
+  const RiaAnalysis analysis = analyze(spec);
+  if (!analysis.is_ria) {
+    return false;
+  }
+  return find_schedule(analysis,
+                       static_cast<int>(spec.index_names.size()))
+      .has_value();
+}
+
+}  // namespace fuse::ria

@@ -1,0 +1,57 @@
+// Space-time mapping of an RIA onto a systolic array.
+//
+// Classic systolic synthesis (Quinton 1984; Rao & Kailath 1988): given the
+// dependence vectors of an RIA, find a linear schedule λ (time) such that
+// every true dependence d satisfies λ·d ≥ 1 (a value is produced before it
+// is consumed), and a projection direction u (λ·u ≠ 0) collapsing the
+// iteration space onto processor space. For matmul with iteration (i,j,k),
+// λ=(1,1,1) and u=(0,0,1) yield the output-stationary 2-D array of
+// Fig. 1(d); for 1-D convolution any of Kung's seven designs arise from
+// different (λ, u) pairs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ria/ria.hpp"
+
+namespace fuse::ria {
+
+/// A valid space-time mapping.
+struct SystolicSchedule {
+  std::vector<std::int64_t> time;        // schedule vector λ
+  std::vector<std::int64_t> projection;  // processor projection direction u
+  int processor_rank = 0;                // iteration rank - 1
+
+  std::string to_string(const std::vector<std::string>& index_names) const;
+};
+
+/// Searches small integer schedule vectors (entries in [-bound, bound]) for
+/// a λ satisfying λ·d ≥ 1 on all self dependences and λ·d ≥ 0 on input
+/// propagation vectors, plus a projection u with λ·u ≠ 0. Returns nullopt
+/// when the algorithm is not an RIA or no schedule exists within the bound.
+std::optional<SystolicSchedule> find_schedule(const RiaAnalysis& analysis,
+                                              int rank, int bound = 2);
+
+/// Convenience: analyze + find_schedule. A true result certifies the
+/// algorithm is systolic (RIA + valid space-time mapping).
+bool is_systolic_algorithm(const AlgorithmSpec& spec);
+
+/// Enumerates ALL valid (lambda, u) pairs with unit projections and
+/// schedule entries in [-bound, bound]. For the matmul RIA of Fig. 1 the
+/// three unit projections correspond exactly to the three classic
+/// dataflows: projecting out k keeps C stationary (output stationary),
+/// projecting out i keeps B stationary (weight stationary), projecting out
+/// j keeps A stationary (input stationary) — one RIA, three accelerators.
+std::vector<SystolicSchedule> enumerate_schedules(
+    const RiaAnalysis& analysis, int rank, int bound = 1);
+
+/// Name of the operand that stays put under a unit projection, for the
+/// matmul spec's variable layout (C[i,j,k], A along j, B along i):
+/// axis 0 (i) -> "B stationary", 1 (j) -> "A stationary",
+/// 2 (k) -> "C stationary". Returns "?" for non-unit projections.
+std::string stationary_operand(const SystolicSchedule& schedule);
+
+}  // namespace fuse::ria

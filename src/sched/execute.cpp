@@ -1,0 +1,258 @@
+#include "sched/execute.hpp"
+
+#include "tensor/im2col.hpp"
+#include "util/check.hpp"
+
+namespace fuse::sched {
+
+using nn::LayerDesc;
+using nn::OpKind;
+using systolic::SimResult;
+using systolic::SystolicArraySim;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// [1, C, H, W] -> [C, H, W] view copy.
+Tensor squeeze_batch(const Tensor& input) {
+  FUSE_CHECK(input.shape().rank() == 4 && input.shape().dim(0) == 1)
+      << "execute_layer_on_array expects a batch-1 NCHW input, got "
+      << input.shape().to_string();
+  Tensor image(Shape{input.shape().dim(1), input.shape().dim(2),
+                     input.shape().dim(3)});
+  for (std::int64_t i = 0; i < image.num_elements(); ++i) {
+    image[i] = input[i];
+  }
+  return image;
+}
+
+/// [positions, C_out] column-major result -> [1, C_out, H, W].
+Tensor positions_to_nchw(const Tensor& product, std::int64_t out_c,
+                         std::int64_t out_h, std::int64_t out_w) {
+  Tensor output(Shape{1, out_c, out_h, out_w});
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    for (std::int64_t pos = 0; pos < out_h * out_w; ++pos) {
+      output.at(0, oc, pos / out_w, pos % out_w) = product.at(pos, oc);
+    }
+  }
+  return output;
+}
+
+LayerExecution from_sim(SimResult result) {
+  LayerExecution exec;
+  exec.output = std::move(result.output);
+  exec.cycles = result.cycles;
+  exec.folds = result.folds;
+  exec.mac_ops = result.mac_ops;
+  return exec;
+}
+
+LayerExecution execute_standard_conv(const LayerDesc& layer,
+                                     const Tensor& input,
+                                     const Tensor& weight,
+                                     SystolicArraySim& sim) {
+  const Tensor image = squeeze_batch(input);
+  const Tensor patches =
+      tensor::im2col(image, layer.kernel_h, layer.kernel_w, layer.stride_h,
+                     layer.stride_w, layer.pad_h, layer.pad_w);
+  // Flatten the filter bank to [taps, C_out].
+  const std::int64_t taps =
+      layer.in_c * layer.kernel_h * layer.kernel_w;
+  Tensor filters(Shape{taps, layer.out_c});
+  for (std::int64_t oc = 0; oc < layer.out_c; ++oc) {
+    std::int64_t t = 0;
+    for (std::int64_t ic = 0; ic < layer.in_c; ++ic) {
+      for (std::int64_t ky = 0; ky < layer.kernel_h; ++ky) {
+        for (std::int64_t kx = 0; kx < layer.kernel_w; ++kx) {
+          filters.at(t++, oc) = weight.at(oc, ic, ky, kx);
+        }
+      }
+    }
+  }
+  SimResult result = sim.matmul(patches, filters);
+  LayerExecution exec = from_sim(std::move(result));
+  exec.output =
+      positions_to_nchw(exec.output, layer.out_c, layer.out_h, layer.out_w);
+  return exec;
+}
+
+LayerExecution execute_depthwise(const LayerDesc& layer, const Tensor& input,
+                                 const Tensor& weight,
+                                 SystolicArraySim& sim) {
+  const Tensor image = squeeze_batch(input);
+  LayerExecution exec;
+  exec.output = Tensor(Shape{1, layer.out_c, layer.out_h, layer.out_w});
+  // One single-column matmul per channel — the §III-B mapping; channels
+  // serialize on the array.
+  for (std::int64_t c = 0; c < layer.in_c; ++c) {
+    Tensor plane(Shape{layer.in_h, layer.in_w});
+    for (std::int64_t i = 0; i < plane.num_elements(); ++i) {
+      plane[i] = image[c * plane.num_elements() + i];
+    }
+    const Tensor patches = tensor::im2col_plane(
+        plane, layer.kernel_h, layer.kernel_w, layer.stride_h,
+        layer.stride_w, layer.pad_h, layer.pad_w);
+    Tensor filter(Shape{layer.kernel_h * layer.kernel_w, 1});
+    for (std::int64_t ky = 0; ky < layer.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < layer.kernel_w; ++kx) {
+        filter.at(ky * layer.kernel_w + kx, 0) = weight.at(c, 0, ky, kx);
+      }
+    }
+    const SimResult result = sim.matmul(patches, filter);
+    exec.cycles += result.cycles;
+    exec.folds += result.folds;
+    exec.mac_ops += result.mac_ops;
+    for (std::int64_t pos = 0; pos < layer.out_h * layer.out_w; ++pos) {
+      exec.output.at(0, c, pos / layer.out_w, pos % layer.out_w) =
+          result.output.at(pos, 0);
+    }
+  }
+  return exec;
+}
+
+LayerExecution execute_pointwise(const LayerDesc& layer, const Tensor& input,
+                                 const Tensor& weight,
+                                 SystolicArraySim& sim) {
+  const Tensor image = squeeze_batch(input);
+  const std::int64_t positions = layer.in_h * layer.in_w;
+  Tensor activations(Shape{positions, layer.in_c});
+  for (std::int64_t c = 0; c < layer.in_c; ++c) {
+    for (std::int64_t pos = 0; pos < positions; ++pos) {
+      activations.at(pos, c) = image[c * positions + pos];
+    }
+  }
+  Tensor filters(Shape{layer.in_c, layer.out_c});
+  for (std::int64_t oc = 0; oc < layer.out_c; ++oc) {
+    for (std::int64_t ic = 0; ic < layer.in_c; ++ic) {
+      filters.at(ic, oc) = weight.at(oc, ic, 0, 0);
+    }
+  }
+  SimResult result = sim.matmul(activations, filters);
+  LayerExecution exec = from_sim(std::move(result));
+  exec.output =
+      positions_to_nchw(exec.output, layer.out_c, layer.out_h, layer.out_w);
+  return exec;
+}
+
+/// Shared by the row and column branches: lays out one padded line per
+/// (channel, spatial line) with the channel's 1-D kernel, runs the
+/// broadcast dataflow, and scatters the outputs back to NCHW.
+///
+/// Stride handling mirrors the latency model (ArrayConfig's
+/// strided_fuse_dense_compute rationale): whole lines along the
+/// non-convolved axis are skipped (only out_h rows / out_w columns are
+/// mapped), while along the convolved axis the shift-register flow
+/// computes the dense output and the scatter below keeps every stride-th
+/// value — so the measured cycles match the dense-compute model exactly.
+LayerExecution execute_fuse(const LayerDesc& layer, const Tensor& input,
+                            const Tensor& weight, SystolicArraySim& sim) {
+  const bool row_branch = layer.kind == OpKind::kFuseRowConv;
+  const Tensor image = squeeze_batch(input);
+  const std::int64_t channels = layer.in_c;
+  const std::int64_t taps = row_branch ? layer.kernel_w : layer.kernel_h;
+  const std::int64_t pad = row_branch ? layer.pad_w : layer.pad_h;
+  const std::int64_t stride = row_branch ? layer.stride_w : layer.stride_h;
+  // Stride along the line-index axis: those lines are simply not mapped.
+  const std::int64_t line_stride =
+      row_branch ? layer.stride_h : layer.stride_w;
+  // Lines run along the convolved axis; the other axis indexes lines.
+  const std::int64_t line_count_per_channel =
+      row_branch ? layer.out_h : layer.out_w;
+  const std::int64_t line_length = row_branch ? layer.in_w : layer.in_h;
+  const std::int64_t padded = line_length + 2 * pad;
+
+  Tensor lines(Shape{channels * line_count_per_channel, padded});
+  Tensor kernels(Shape{channels * line_count_per_channel, taps});
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t l = 0; l < line_count_per_channel; ++l) {
+      const std::int64_t line = c * line_count_per_channel + l;
+      const std::int64_t source_line = l * line_stride;
+      for (std::int64_t x = 0; x < line_length; ++x) {
+        lines.at(line, x + pad) = row_branch
+                                      ? image.at(c, source_line, x)
+                                      : image.at(c, x, source_line);
+      }
+      for (std::int64_t k = 0; k < taps; ++k) {
+        kernels.at(line, k) =
+            row_branch ? weight.at(c, 0, 0, k) : weight.at(c, 0, k, 0);
+      }
+    }
+  }
+
+  SimResult result = sim.conv1d_broadcast(lines, kernels);
+  LayerExecution exec;
+  exec.cycles = result.cycles;
+  exec.folds = result.folds;
+  exec.mac_ops = result.mac_ops;
+  exec.output = Tensor(Shape{1, layer.out_c, layer.out_h, layer.out_w});
+  // Dense output along the convolved axis; keep every stride-th value.
+  const std::int64_t kept = row_branch ? layer.out_w : layer.out_h;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t l = 0; l < line_count_per_channel; ++l) {
+      const std::int64_t line = c * line_count_per_channel + l;
+      for (std::int64_t o = 0; o < kept; ++o) {
+        const float value = result.output.at(line, o * stride);
+        if (row_branch) {
+          exec.output.at(0, c, l, o) = value;
+        } else {
+          exec.output.at(0, c, o, l) = value;
+        }
+      }
+    }
+  }
+  return exec;
+}
+
+LayerExecution execute_fully_connected(const LayerDesc& layer,
+                                       const Tensor& input,
+                                       const Tensor& weight,
+                                       SystolicArraySim& sim) {
+  FUSE_CHECK(input.num_elements() == layer.in_c)
+      << "FC input must flatten to " << layer.in_c << " features";
+  const Tensor row = input.reshaped(Shape{1, layer.in_c});
+  Tensor filters(Shape{layer.in_c, layer.out_c});
+  for (std::int64_t o = 0; o < layer.out_c; ++o) {
+    for (std::int64_t i = 0; i < layer.in_c; ++i) {
+      filters.at(i, o) = weight.at(o, i);
+    }
+  }
+  SimResult result = sim.matmul(row, filters);
+  LayerExecution exec = from_sim(std::move(result));
+  exec.output = exec.output.reshaped(Shape{1, layer.out_c, 1, 1});
+  return exec;
+}
+
+}  // namespace
+
+LayerExecution execute_layer_on_array(const LayerDesc& layer,
+                                      const Tensor& input,
+                                      const Tensor& weight,
+                                      const systolic::ArrayConfig& cfg) {
+  SystolicArraySim sim(cfg);
+  switch (layer.kind) {
+    case OpKind::kStandardConv:
+      return execute_standard_conv(layer, input, weight, sim);
+    case OpKind::kDepthwiseConv:
+      return execute_depthwise(layer, input, weight, sim);
+    case OpKind::kPointwiseConv:
+      return execute_pointwise(layer, input, weight, sim);
+    case OpKind::kFuseRowConv:
+    case OpKind::kFuseColConv:
+      return execute_fuse(layer, input, weight, sim);
+    case OpKind::kFullyConnected:
+      return execute_fully_connected(layer, input, weight, sim);
+    case OpKind::kGroupedConv:
+    case OpKind::kAvgPool:
+    case OpKind::kMaxPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kActivation:
+    case OpKind::kElementwiseAdd:
+      FUSE_CHECK(false) << "layer kind " << nn::op_kind_name(layer.kind)
+                        << " does not execute on the array (layer "
+                        << layer.name << ")";
+  }
+  return {};
+}
+
+}  // namespace fuse::sched

@@ -1,0 +1,45 @@
+// Execute a layer ON the simulated array: real tensors in, real tensors
+// out, with the cycle count measured by the PE-grid simulator rather than
+// predicted by the analytic model. This is the repo's end-to-end
+// verification path — tests assert, for every operator kind, that
+//   execute_layer_on_array(...).output  == fuse::nn reference
+//   execute_layer_on_array(...).cycles  == sched::layer_latency(...)
+// (with fold-drain overlap disabled, which is what the simulator models).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "systolic/sim.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fuse::sched {
+
+/// Output and measured cost of one simulated layer.
+struct LayerExecution {
+  tensor::Tensor output;  // [1, C_out, H_out, W_out]
+  std::uint64_t cycles = 0;
+  std::uint64_t folds = 0;
+  std::uint64_t mac_ops = 0;
+};
+
+/// Runs `layer` on the simulated systolic array.
+///
+/// input  : [1, in_c, in_h, in_w] (batch 1, as in the paper's evaluation).
+/// weight : layout depends on the kind —
+///   standard conv  [out_c, in_c, kh, kw]
+///   depthwise      [C, 1, k, k]
+///   pointwise      [out_c, in_c, 1, 1]
+///   fuse row       [C, 1, 1, k]
+///   fuse col       [C, 1, k, 1]
+///   fully connected [out_f, in_f]
+///
+/// Supported kinds: the latency-bearing ones. Strided FuSe layers execute
+/// with the dense-compute-and-discard flow (the shift-register dataflow
+/// cannot skip outputs; see ArrayConfig::strided_fuse_dense_compute), so
+/// their measured cycles match the default latency model. Glue ops
+/// (pool/activation/add) do not run on the array and are rejected.
+LayerExecution execute_layer_on_array(const nn::LayerDesc& layer,
+                                      const tensor::Tensor& input,
+                                      const tensor::Tensor& weight,
+                                      const systolic::ArrayConfig& cfg);
+
+}  // namespace fuse::sched

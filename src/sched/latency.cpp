@@ -1,0 +1,443 @@
+#include "sched/latency.hpp"
+
+#include <map>
+
+#include "util/check.hpp"
+
+namespace fuse::sched {
+
+using nn::OpKind;
+
+LatencyEstimate layer_latency(const LayerDesc& layer,
+                              const ArrayConfig& cfg) {
+  switch (layer.kind) {
+    case OpKind::kStandardConv:
+      if (cfg.standard_conv_mapping ==
+          systolic::StandardConvMapping::kChannelwise) {
+        return systolic::conv_channelwise_latency(
+            layer.out_h, layer.out_w, layer.kernel_h, layer.kernel_w,
+            layer.in_c, layer.out_c, cfg);
+      }
+      return systolic::conv_im2col_latency(layer.out_h, layer.out_w,
+                                           layer.kernel_h, layer.kernel_w,
+                                           layer.in_c, layer.out_c, cfg);
+    case OpKind::kGroupedConv: {
+      // Each group is an independent im2col matmul over its own channels.
+      const std::int64_t group_in = layer.in_c / layer.groups;
+      const std::int64_t group_out = layer.out_c / layer.groups;
+      const LatencyEstimate per_group = systolic::conv_im2col_latency(
+          layer.out_h, layer.out_w, layer.kernel_h, layer.kernel_w,
+          group_in, group_out, cfg);
+      LatencyEstimate est;
+      est.pe_count = cfg.pe_count();
+      est.cycles = per_group.cycles * static_cast<std::uint64_t>(layer.groups);
+      est.folds = per_group.folds * static_cast<std::uint64_t>(layer.groups);
+      est.mac_ops =
+          per_group.mac_ops * static_cast<std::uint64_t>(layer.groups);
+      return est;
+    }
+    case OpKind::kDepthwiseConv:
+      FUSE_CHECK(layer.kernel_h == layer.kernel_w)
+          << "depthwise latency assumes square kernels, layer "
+          << layer.name;
+      return systolic::depthwise_im2col_latency(
+          layer.out_c, layer.out_h, layer.out_w, layer.kernel_h, cfg);
+    case OpKind::kPointwiseConv:
+      return systolic::matmul_latency(layer.out_h * layer.out_w, layer.in_c,
+                                      layer.out_c, cfg);
+    case OpKind::kFuseRowConv: {
+      // One 1-D convolution per (channel, output row): out_h lines per
+      // channel (strided rows are whole lines and ARE skipped), each
+      // producing out_w outputs from kernel_w taps. With a horizontal
+      // stride the shift-register flow computes the dense output and
+      // discards (see ArrayConfig::strided_fuse_dense_compute).
+      const std::int64_t lines = layer.out_c * layer.out_h;
+      std::int64_t line_out = layer.out_w;
+      if (cfg.strided_fuse_dense_compute && layer.stride_w > 1) {
+        line_out = layer.in_w + 2 * layer.pad_w - layer.kernel_w + 1;
+      }
+      if (cfg.broadcast_links) {
+        return systolic::fuse1d_latency(lines, line_out, layer.kernel_w,
+                                        cfg);
+      }
+      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
+                                                   layer.kernel_w, cfg);
+    }
+    case OpKind::kFuseColConv: {
+      const std::int64_t lines = layer.out_c * layer.out_w;
+      std::int64_t line_out = layer.out_h;
+      if (cfg.strided_fuse_dense_compute && layer.stride_h > 1) {
+        line_out = layer.in_h + 2 * layer.pad_h - layer.kernel_h + 1;
+      }
+      if (cfg.broadcast_links) {
+        return systolic::fuse1d_latency(lines, line_out, layer.kernel_h,
+                                        cfg);
+      }
+      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
+                                                   layer.kernel_h, cfg);
+    }
+    case OpKind::kFullyConnected:
+      return systolic::fully_connected_latency(layer.in_c, layer.out_c, cfg);
+    case OpKind::kAvgPool:
+    case OpKind::kMaxPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kActivation:
+    case OpKind::kElementwiseAdd: {
+      LatencyEstimate zero;
+      zero.pe_count = cfg.pe_count();
+      return zero;
+    }
+  }
+  FUSE_CHECK(false) << "unknown op kind for layer " << layer.name;
+  return {};
+}
+
+LatencyEstimate layer_latency_batched(const LayerDesc& layer,
+                                      const ArrayConfig& cfg,
+                                      std::int64_t batch) {
+  FUSE_CHECK(batch >= 1) << "batch must be >= 1";
+  switch (layer.kind) {
+    case OpKind::kStandardConv:
+      return systolic::matmul_latency(batch * layer.out_h * layer.out_w,
+                                      layer.kernel_h * layer.kernel_w *
+                                          layer.in_c,
+                                      layer.out_c, cfg);
+    case OpKind::kGroupedConv: {
+      const LatencyEstimate per_group = systolic::matmul_latency(
+          batch * layer.out_h * layer.out_w,
+          layer.kernel_h * layer.kernel_w * (layer.in_c / layer.groups),
+          layer.out_c / layer.groups, cfg);
+      LatencyEstimate est;
+      est.pe_count = cfg.pe_count();
+      est.cycles = per_group.cycles * static_cast<std::uint64_t>(layer.groups);
+      est.folds = per_group.folds * static_cast<std::uint64_t>(layer.groups);
+      est.mac_ops =
+          per_group.mac_ops * static_cast<std::uint64_t>(layer.groups);
+      return est;
+    }
+    case OpKind::kDepthwiseConv: {
+      const LatencyEstimate per_channel = systolic::matmul_latency(
+          batch * layer.out_h * layer.out_w,
+          layer.kernel_h * layer.kernel_w, /*n=*/1, cfg);
+      LatencyEstimate est;
+      est.pe_count = cfg.pe_count();
+      est.cycles = per_channel.cycles * static_cast<std::uint64_t>(layer.out_c);
+      est.folds = per_channel.folds * static_cast<std::uint64_t>(layer.out_c);
+      est.mac_ops =
+          per_channel.mac_ops * static_cast<std::uint64_t>(layer.out_c);
+      return est;
+    }
+    case OpKind::kPointwiseConv:
+      return systolic::matmul_latency(batch * layer.out_h * layer.out_w,
+                                      layer.in_c, layer.out_c, cfg);
+    case OpKind::kFuseRowConv: {
+      const std::int64_t lines = batch * layer.out_c * layer.out_h;
+      std::int64_t line_out = layer.out_w;
+      if (cfg.strided_fuse_dense_compute && layer.stride_w > 1) {
+        line_out = layer.in_w + 2 * layer.pad_w - layer.kernel_w + 1;
+      }
+      if (cfg.broadcast_links) {
+        return systolic::fuse1d_latency(lines, line_out, layer.kernel_w,
+                                        cfg);
+      }
+      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
+                                                   layer.kernel_w, cfg);
+    }
+    case OpKind::kFuseColConv: {
+      const std::int64_t lines = batch * layer.out_c * layer.out_w;
+      std::int64_t line_out = layer.out_h;
+      if (cfg.strided_fuse_dense_compute && layer.stride_h > 1) {
+        line_out = layer.in_h + 2 * layer.pad_h - layer.kernel_h + 1;
+      }
+      if (cfg.broadcast_links) {
+        return systolic::fuse1d_latency(lines, line_out, layer.kernel_h,
+                                        cfg);
+      }
+      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
+                                                   layer.kernel_h, cfg);
+    }
+    case OpKind::kFullyConnected:
+      // The batch fills the otherwise single-row mapping.
+      return systolic::matmul_latency(batch, layer.in_c, layer.out_c, cfg);
+    case OpKind::kAvgPool:
+    case OpKind::kMaxPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kActivation:
+    case OpKind::kElementwiseAdd: {
+      LatencyEstimate zero;
+      zero.pe_count = cfg.pe_count();
+      return zero;
+    }
+  }
+  FUSE_CHECK(false) << "unknown op kind for layer " << layer.name;
+  return {};
+}
+
+std::uint64_t network_latency_batched(const NetworkModel& model,
+                                      const ArrayConfig& cfg,
+                                      std::int64_t batch) {
+  std::uint64_t total = 0;
+  for (const LayerDesc& layer : model.layers) {
+    total += layer_latency_batched(layer, cfg, batch).cycles;
+  }
+  return total;
+}
+
+double NetworkLatency::utilization(const ArrayConfig& cfg) const {
+  std::uint64_t macs = 0;
+  for (const LatencyEstimate& est : per_layer) {
+    macs += est.mac_ops;
+  }
+  if (total_cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(macs) /
+         (static_cast<double>(total_cycles) *
+          static_cast<double>(cfg.pe_count()));
+}
+
+NetworkLatency network_latency(const NetworkModel& model,
+                               const ArrayConfig& cfg) {
+  NetworkLatency result;
+  result.per_layer.reserve(model.layers.size());
+  for (const LayerDesc& layer : model.layers) {
+    LatencyEstimate est = layer_latency(layer, cfg);
+    result.total_cycles += est.cycles;
+    result.per_layer.push_back(est);
+  }
+  return result;
+}
+
+std::string operator_class_name(OperatorClass cls) {
+  switch (cls) {
+    case OperatorClass::kStandardConv:
+      return "standard-conv";
+    case OperatorClass::kDepthwise:
+      return "depthwise";
+    case OperatorClass::kPointwise:
+      return "pointwise";
+    case OperatorClass::kFuse:
+      return "fuse";
+    case OperatorClass::kFcAndSe:
+      return "fc+se";
+  }
+  return "?";
+}
+
+OperatorClass classify_layer(const LayerDesc& layer) {
+  switch (layer.kind) {
+    case OpKind::kStandardConv:
+    case OpKind::kGroupedConv:
+      return OperatorClass::kStandardConv;
+    case OpKind::kDepthwiseConv:
+      return OperatorClass::kDepthwise;
+    case OpKind::kPointwiseConv:
+      return OperatorClass::kPointwise;
+    case OpKind::kFuseRowConv:
+    case OpKind::kFuseColConv:
+      return OperatorClass::kFuse;
+    case OpKind::kFullyConnected:
+    default:
+      return OperatorClass::kFcAndSe;
+  }
+}
+
+std::uint64_t OperatorBreakdown::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : cycles) {
+    sum += c;
+  }
+  return sum;
+}
+
+double OperatorBreakdown::fraction(OperatorClass cls) const {
+  const std::uint64_t sum = total();
+  if (sum == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(of(cls)) / static_cast<double>(sum);
+}
+
+OperatorBreakdown operator_breakdown(const NetworkModel& model,
+                                     const ArrayConfig& cfg) {
+  OperatorBreakdown breakdown;
+  for (const LayerDesc& layer : model.layers) {
+    if (!layer.counts_for_latency()) {
+      continue;
+    }
+    breakdown.cycles[static_cast<int>(classify_layer(layer))] +=
+        layer_latency(layer, cfg).cycles;
+  }
+  return breakdown;
+}
+
+namespace {
+
+/// Cycles attributed to each fuse slot (dw/fuse layer + its SE + its
+/// projection pointwise), via the fuse_slot tags.
+std::map<int, std::uint64_t> cycles_by_slot(const NetworkModel& model,
+                                            const ArrayConfig& cfg) {
+  std::map<int, std::uint64_t> by_slot;
+  for (const LayerDesc& layer : model.layers) {
+    if (layer.fuse_slot < 0) {
+      continue;
+    }
+    by_slot[layer.fuse_slot] += layer_latency(layer, cfg).cycles;
+  }
+  return by_slot;
+}
+
+}  // namespace
+
+std::vector<double> slot_savings(NetworkId id, FuseMode mode,
+                                 const ArrayConfig& cfg) {
+  FUSE_CHECK(mode != FuseMode::kBaseline)
+      << "slot_savings needs a replacing mode";
+  const NetworkModel baseline = nets::build_network(id);
+  const NetworkModel fused = nets::build_network(
+      id, core::uniform_modes(baseline.num_slots, mode));
+
+  const auto base_slots = cycles_by_slot(baseline, cfg);
+  const auto fused_slots = cycles_by_slot(fused, cfg);
+
+  std::vector<double> savings(static_cast<std::size_t>(baseline.num_slots),
+                              0.0);
+  for (int slot = 0; slot < baseline.num_slots; ++slot) {
+    const auto base_it = base_slots.find(slot);
+    const auto fused_it = fused_slots.find(slot);
+    FUSE_CHECK(base_it != base_slots.end() &&
+               fused_it != fused_slots.end())
+        << "slot " << slot << " missing from lowered network";
+    savings[static_cast<std::size_t>(slot)] =
+        static_cast<double>(base_it->second) -
+        static_cast<double>(fused_it->second);
+  }
+  return savings;
+}
+
+VariantBuild build_variant(NetworkId id, NetworkVariant variant,
+                           const ArrayConfig& cfg) {
+  const int slots = nets::num_fuse_slots(id);
+  std::vector<double> savings;
+  if (variant == NetworkVariant::kFuseFull50) {
+    savings = slot_savings(id, FuseMode::kFull, cfg);
+  } else if (variant == NetworkVariant::kFuseHalf50) {
+    savings = slot_savings(id, FuseMode::kHalf, cfg);
+  }
+  VariantBuild build;
+  build.modes = core::modes_for_variant(variant, slots, savings);
+  build.model = nets::build_network(id, build.modes);
+  return build;
+}
+
+double speedup_vs_baseline(NetworkId id, NetworkVariant variant,
+                           const ArrayConfig& cfg) {
+  const VariantBuild baseline =
+      build_variant(id, NetworkVariant::kBaseline, cfg);
+  const VariantBuild target = build_variant(id, variant, cfg);
+  const std::uint64_t base_cycles =
+      network_latency(baseline.model, cfg).total_cycles;
+  const std::uint64_t variant_cycles =
+      network_latency(target.model, cfg).total_cycles;
+  FUSE_CHECK(variant_cycles > 0) << "variant has zero latency";
+  return static_cast<double>(base_cycles) /
+         static_cast<double>(variant_cycles);
+}
+
+systolic::TrafficEstimate layer_traffic(const LayerDesc& layer,
+                                        const ArrayConfig& cfg,
+                                        const systolic::MemoryConfig& mem) {
+  switch (layer.kind) {
+    case OpKind::kStandardConv:
+      return systolic::conv_im2col_traffic(layer.out_h, layer.out_w,
+                                           layer.kernel_h, layer.kernel_w,
+                                           layer.in_c, layer.out_c, cfg,
+                                           mem);
+    case OpKind::kGroupedConv: {
+      const systolic::TrafficEstimate per_group =
+          systolic::conv_im2col_traffic(
+              layer.out_h, layer.out_w, layer.kernel_h, layer.kernel_w,
+              layer.in_c / layer.groups, layer.out_c / layer.groups, cfg,
+              mem);
+      systolic::TrafficEstimate traffic;
+      for (std::int64_t g = 0; g < layer.groups; ++g) {
+        traffic += per_group;
+      }
+      return traffic;
+    }
+    case OpKind::kDepthwiseConv:
+      return systolic::depthwise_im2col_traffic(
+          layer.out_c, layer.out_h, layer.out_w, layer.kernel_h, cfg, mem);
+    case OpKind::kPointwiseConv:
+      return systolic::matmul_traffic(layer.out_h * layer.out_w, layer.in_c,
+                                      layer.out_c, cfg, mem);
+    case OpKind::kFuseRowConv:
+      return systolic::fuse1d_traffic(layer.out_c * layer.out_h,
+                                      layer.out_w, layer.kernel_w, cfg,
+                                      mem);
+    case OpKind::kFuseColConv:
+      return systolic::fuse1d_traffic(layer.out_c * layer.out_w,
+                                      layer.out_h, layer.kernel_h, cfg,
+                                      mem);
+    case OpKind::kFullyConnected:
+      return systolic::fully_connected_traffic(layer.in_c, layer.out_c, cfg,
+                                               mem);
+    case OpKind::kAvgPool:
+    case OpKind::kMaxPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kActivation:
+    case OpKind::kElementwiseAdd:
+      return {};
+  }
+  FUSE_CHECK(false) << "unknown op kind for layer " << layer.name;
+  return {};
+}
+
+NetworkRoofline network_roofline(const NetworkModel& model,
+                                 const ArrayConfig& cfg,
+                                 const systolic::MemoryConfig& mem) {
+  NetworkRoofline roofline;
+  for (const LayerDesc& layer : model.layers) {
+    const std::uint64_t compute = layer_latency(layer, cfg).cycles;
+    const systolic::TrafficEstimate traffic = layer_traffic(layer, cfg, mem);
+    const std::uint64_t memory = traffic.memory_cycles(mem);
+    roofline.compute_cycles += compute;
+    roofline.memory_cycles += memory;
+    roofline.bound_cycles += std::max(compute, memory);
+    roofline.total_bytes += traffic.total_bytes();
+    if (memory > compute && compute > 0) {
+      ++roofline.memory_bound_layers;
+    }
+  }
+  return roofline;
+}
+
+double roofline_speedup(NetworkId id, NetworkVariant variant,
+                        const ArrayConfig& cfg,
+                        const systolic::MemoryConfig& mem) {
+  const VariantBuild baseline =
+      build_variant(id, NetworkVariant::kBaseline, cfg);
+  const VariantBuild target = build_variant(id, variant, cfg);
+  const std::uint64_t base =
+      network_roofline(baseline.model, cfg, mem).bound_cycles;
+  const std::uint64_t var =
+      network_roofline(target.model, cfg, mem).bound_cycles;
+  FUSE_CHECK(var > 0) << "variant has zero roofline latency";
+  return static_cast<double>(base) / static_cast<double>(var);
+}
+
+hw::EnergyReport network_energy(const NetworkModel& model,
+                                const ArrayConfig& cfg,
+                                const systolic::MemoryConfig& mem,
+                                const hw::EnergyModel& energy) {
+  hw::EnergyReport report;
+  for (const LayerDesc& layer : model.layers) {
+    const LatencyEstimate est = layer_latency(layer, cfg);
+    const systolic::TrafficEstimate traffic = layer_traffic(layer, cfg, mem);
+    report += hw::operator_energy(est.mac_ops, est.cycles, cfg.pe_count(),
+                                  traffic.total_bytes(), energy);
+  }
+  return report;
+}
+
+}  // namespace fuse::sched

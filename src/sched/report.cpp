@@ -1,0 +1,97 @@
+#include "sched/report.hpp"
+
+#include <map>
+
+#include "util/check.hpp"
+
+namespace fuse::sched {
+
+std::vector<Table1Row> table1_rows(const ArrayConfig& cfg) {
+  std::vector<Table1Row> rows;
+  for (NetworkId id : nets::paper_networks()) {
+    const auto paper_rows = nets::paper_table1(id);
+    const VariantBuild baseline =
+        build_variant(id, NetworkVariant::kBaseline, cfg);
+    const std::uint64_t baseline_cycles =
+        network_latency(baseline.model, cfg).total_cycles;
+
+    for (NetworkVariant variant : core::all_network_variants()) {
+      const VariantBuild build = build_variant(id, variant, cfg);
+      Table1Row row;
+      row.network = id;
+      row.variant = variant;
+      row.macs = build.model.total_macs();
+      row.params = build.model.total_params();
+      row.cycles = network_latency(build.model, cfg).total_cycles;
+      FUSE_CHECK(row.cycles > 0) << "zero-cycle network";
+      row.speedup = static_cast<double>(baseline_cycles) /
+                    static_cast<double>(row.cycles);
+      for (const auto& paper : paper_rows) {
+        if (paper.variant == variant) {
+          row.paper_accuracy = paper.imagenet_accuracy;
+          row.paper_macs_millions = paper.macs_millions;
+          row.paper_params_millions = paper.params_millions;
+          row.paper_speedup = paper.speedup;
+        }
+      }
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::vector<SlotSpeedup> layerwise_speedup(NetworkId id, FuseMode mode,
+                                           const ArrayConfig& cfg) {
+  FUSE_CHECK(mode != FuseMode::kBaseline)
+      << "layerwise_speedup needs a replacing mode";
+  const NetworkModel baseline = nets::build_network(id);
+  const NetworkModel fused = nets::build_network(
+      id, core::uniform_modes(baseline.num_slots, mode));
+
+  // Collect per-slot cycles and the baseline layer metadata.
+  std::map<int, SlotSpeedup> slots;
+  for (const nn::LayerDesc& layer : baseline.layers) {
+    if (layer.fuse_slot < 0) {
+      continue;
+    }
+    SlotSpeedup& s = slots[layer.fuse_slot];
+    s.slot = layer.fuse_slot;
+    s.baseline_cycles += layer_latency(layer, cfg).cycles;
+    if (layer.kind == nn::OpKind::kDepthwiseConv) {
+      s.name = layer.name;
+      s.in_h = layer.in_h;
+      s.in_w = layer.in_w;
+      s.channels = layer.in_c;
+    }
+  }
+  for (const nn::LayerDesc& layer : fused.layers) {
+    if (layer.fuse_slot < 0) {
+      continue;
+    }
+    slots[layer.fuse_slot].fused_cycles += layer_latency(layer, cfg).cycles;
+  }
+
+  std::vector<SlotSpeedup> result;
+  result.reserve(slots.size());
+  for (auto& [slot, s] : slots) {
+    FUSE_CHECK(s.fused_cycles > 0) << "slot " << slot << " has zero cycles";
+    s.speedup = static_cast<double>(s.baseline_cycles) /
+                static_cast<double>(s.fused_cycles);
+    result.push_back(s);
+  }
+  return result;
+}
+
+std::vector<ScalingPoint> scaling_sweep(
+    NetworkId id, NetworkVariant variant,
+    const std::vector<std::int64_t>& sizes) {
+  std::vector<ScalingPoint> points;
+  points.reserve(sizes.size());
+  for (std::int64_t size : sizes) {
+    const ArrayConfig cfg = systolic::square_array(size);
+    points.push_back(ScalingPoint{size, speedup_vs_baseline(id, variant, cfg)});
+  }
+  return points;
+}
+
+}  // namespace fuse::sched

@@ -1,0 +1,54 @@
+// Report builders behind the paper's Table I and Fig. 8. Bench binaries
+// format these; tests assert their qualitative shape (who wins, by roughly
+// what factor, where crossovers fall).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/latency.hpp"
+
+namespace fuse::sched {
+
+/// One row of the reproduced Table I.
+struct Table1Row {
+  NetworkId network;
+  NetworkVariant variant;
+  std::uint64_t macs = 0;
+  std::uint64_t params = 0;
+  std::uint64_t cycles = 0;
+  double speedup = 1.0;  // measured, vs this network's baseline
+
+  // Paper-reported reference values (see nets::paper_table1).
+  double paper_accuracy = 0.0;
+  double paper_macs_millions = 0.0;
+  double paper_params_millions = 0.0;
+  double paper_speedup = 0.0;
+};
+
+/// All 5 networks x 5 variants on the given array (Table I / Fig. 8(a)).
+std::vector<Table1Row> table1_rows(const ArrayConfig& cfg);
+
+/// Per-depthwise-slot speedup (Fig. 8(b)). For each replaceable block:
+/// cycles of the block's layers in the baseline vs the fused network.
+struct SlotSpeedup {
+  int slot = 0;
+  std::string name;             // the baseline depthwise layer's name
+  std::int64_t in_h = 0, in_w = 0, channels = 0;
+  std::uint64_t baseline_cycles = 0;
+  std::uint64_t fused_cycles = 0;
+  double speedup = 1.0;
+};
+std::vector<SlotSpeedup> layerwise_speedup(NetworkId id, FuseMode mode,
+                                           const ArrayConfig& cfg);
+
+/// Speedup of a variant across array sizes (Fig. 8(d)).
+struct ScalingPoint {
+  std::int64_t array_size = 0;
+  double speedup = 1.0;
+};
+std::vector<ScalingPoint> scaling_sweep(NetworkId id, NetworkVariant variant,
+                                        const std::vector<std::int64_t>& sizes);
+
+}  // namespace fuse::sched

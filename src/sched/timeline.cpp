@@ -1,0 +1,81 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace fuse::sched {
+
+Timeline network_timeline(const NetworkModel& model,
+                          const ArrayConfig& cfg) {
+  Timeline timeline;
+  std::uint64_t cursor = 0;
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const nn::LayerDesc& layer = model.layers[i];
+    const LatencyEstimate est = layer_latency(layer, cfg);
+    if (est.cycles == 0) {
+      continue;  // glue ops occupy no array time
+    }
+    TimelineEntry entry;
+    entry.layer_index = i;
+    entry.name = layer.name;
+    entry.kind = layer.kind;
+    entry.start_cycle = cursor;
+    entry.end_cycle = cursor + est.cycles;
+    entry.utilization = est.utilization();
+    cursor = entry.end_cycle;
+    timeline.entries.push_back(std::move(entry));
+  }
+  timeline.total_cycles = cursor;
+  return timeline;
+}
+
+void write_timeline_csv(const Timeline& timeline, const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.write_header(
+      {"layer", "kind", "start_cycle", "end_cycle", "cycles", "util"});
+  for (const TimelineEntry& entry : timeline.entries) {
+    csv.write_row({entry.name, nn::op_kind_name(entry.kind),
+                   std::to_string(entry.start_cycle),
+                   std::to_string(entry.end_cycle),
+                   std::to_string(entry.duration()),
+                   util::fixed(entry.utilization, 4)});
+  }
+}
+
+std::string ascii_gantt(const Timeline& timeline, int width) {
+  FUSE_CHECK(width >= 16) << "gantt width too small: " << width;
+  std::ostringstream out;
+  if (timeline.total_cycles == 0) {
+    return "(empty timeline)\n";
+  }
+  // Longest label for alignment, truncated to keep lines compact.
+  std::size_t label_width = 0;
+  for (const TimelineEntry& entry : timeline.entries) {
+    label_width = std::max(label_width, entry.name.size());
+  }
+  label_width = std::min<std::size_t>(label_width, 36);
+
+  for (const TimelineEntry& entry : timeline.entries) {
+    std::string label = entry.name;
+    if (label.size() > label_width) {
+      label = "..." + label.substr(label.size() - (label_width - 3));
+    }
+    const double share = static_cast<double>(entry.duration()) /
+                         static_cast<double>(timeline.total_cycles);
+    const int bar = std::max(1, static_cast<int>(share * width + 0.5));
+    out << label << std::string(label_width - label.size(), ' ') << " |"
+        << std::string(static_cast<std::size_t>(bar), '#') << " "
+        << util::fixed(100.0 * share, 1) << "% ("
+        << nn::op_kind_name(entry.kind) << ", util "
+        << util::fixed(100.0 * entry.utilization, 1) << "%)\n";
+  }
+  out << std::string(label_width, ' ') << " total "
+      << util::with_commas(timeline.total_cycles) << " cycles\n";
+  return out.str();
+}
+
+}  // namespace fuse::sched

@@ -1,0 +1,98 @@
+// Systolic array configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace fuse::systolic {
+
+/// Supported dataflows. The paper evaluates output-stationary only (§V-A3)
+/// and notes input/weight stationary as the other standard choices (§II-C);
+/// this repo implements all three so the FuSe result can be checked for
+/// robustness across dataflows (bench_ablation_dataflow).
+enum class Dataflow {
+  kOutputStationary,  // outputs accumulate in place (Fig. 1(d))
+  kWeightStationary,  // weights preloaded, activations stream (TPU-style)
+  kInputStationary,   // activations preloaded, weights stream
+};
+
+/// "OS" / "WS" / "IS".
+inline std::string dataflow_name(Dataflow dataflow) {
+  switch (dataflow) {
+    case Dataflow::kOutputStationary:
+      return "OS";
+    case Dataflow::kWeightStationary:
+      return "WS";
+    case Dataflow::kInputStationary:
+      return "IS";
+  }
+  return "?";
+}
+
+/// How standard (dense) convolutions map onto the array — the paper's
+/// Fig. 3: (a) im2col with input reuse across filters, or (b) channel-wise
+/// dot products, one matmul per kernel tap with adder-tree reduction.
+/// Depthwise convolution benefits from neither (no filter reuse, no
+/// channel span), which is §III's point.
+enum class StandardConvMapping {
+  kIm2col,
+  kChannelwise,
+};
+
+/// A rows x cols grid of MAC PEs. `broadcast_links` enables the paper's
+/// proposed per-row weight-broadcast bus (Fig. 5); without it FuSeConv's
+/// 1-D convolutions cannot be mapped row-parallel and fall back to the
+/// depthwise-style single-column mapping.
+struct ArrayConfig {
+  std::int64_t rows = 64;
+  std::int64_t cols = 64;
+  Dataflow dataflow = Dataflow::kOutputStationary;
+  StandardConvMapping standard_conv_mapping = StandardConvMapping::kIm2col;
+  bool broadcast_links = true;
+
+  /// When true (default), the drain of each fold overlaps the fill of the
+  /// next fold of the same operator (double-buffered accumulators), so only
+  /// the last fold pays the drain. When false every fold pays skew +
+  /// compute + drain, which is exactly what the cycle-level simulator
+  /// measures; tests cross-check the two in that mode.
+  bool overlap_fold_drain = true;
+
+  /// Strided FuSe 1-D convolutions on the broadcast dataflow: the
+  /// shift-register input flow only aligns neighbouring PEs' windows for
+  /// stride 1 (PE c needs x[c*s + k]; its right neighbour's previous value
+  /// is x[c*s + s + k - 1], equal only when s = 1). When true (default,
+  /// honest) a strided layer computes the DENSE output along the convolved
+  /// axis and discards the skipped positions; whole lines along the other
+  /// axis are still skipped. When false, edge feeders are assumed to do
+  /// strided addressing (extra hardware the paper does not propose) and
+  /// only needed outputs are computed.
+  bool strided_fuse_dense_compute = true;
+  double freq_mhz = 700.0;  // used only to convert cycles to wall time
+
+  std::int64_t pe_count() const { return rows * cols; }
+
+  void validate() const {
+    FUSE_CHECK(rows > 0 && cols > 0)
+        << "array must have positive dimensions, got " << rows << "x" << cols;
+    FUSE_CHECK(freq_mhz > 0.0) << "frequency must be positive";
+  }
+
+  std::string to_string() const {
+    return std::to_string(rows) + "x" + std::to_string(cols) +
+           (broadcast_links ? " (+broadcast)" : "");
+  }
+};
+
+/// Square array shorthand.
+inline ArrayConfig square_array(std::int64_t size,
+                                bool broadcast_links = true) {
+  ArrayConfig cfg;
+  cfg.rows = size;
+  cfg.cols = size;
+  cfg.broadcast_links = broadcast_links;
+  return cfg;
+}
+
+}  // namespace fuse::systolic

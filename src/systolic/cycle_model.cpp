@@ -1,0 +1,226 @@
+#include "systolic/cycle_model.hpp"
+
+#include "util/check.hpp"
+
+namespace fuse::systolic {
+
+LatencyEstimate& LatencyEstimate::operator+=(const LatencyEstimate& other) {
+  cycles += other.cycles;
+  folds += other.folds;
+  mac_ops += other.mac_ops;
+  if (pe_count == 0) {
+    pe_count = other.pe_count;
+  }
+  FUSE_CHECK(other.pe_count == 0 || other.pe_count == pe_count)
+      << "accumulating latencies from different array sizes";
+  return *this;
+}
+
+std::uint64_t fold_cycles(std::int64_t used_rows, std::int64_t used_cols,
+                          std::int64_t depth) {
+  FUSE_CHECK(used_rows > 0 && used_cols > 0 && depth > 0)
+      << "fold_cycles(" << used_rows << ", " << used_cols << ", " << depth
+      << ")";
+  return static_cast<std::uint64_t>((used_rows - 1) + (used_cols - 1) +
+                                    depth + used_rows);
+}
+
+LatencyEstimate matmul_latency(std::int64_t m, std::int64_t t,
+                               std::int64_t n, const ArrayConfig& cfg) {
+  switch (cfg.dataflow) {
+    case Dataflow::kOutputStationary:
+      return matmul_latency_os(m, t, n, cfg);
+    case Dataflow::kWeightStationary:
+      return matmul_latency_ws(m, t, n, cfg);
+    case Dataflow::kInputStationary:
+      return matmul_latency_is(m, t, n, cfg);
+  }
+  FUSE_CHECK(false) << "unknown dataflow";
+  return {};
+}
+
+LatencyEstimate matmul_latency_os(std::int64_t m, std::int64_t t,
+                                  std::int64_t n, const ArrayConfig& cfg) {
+  cfg.validate();
+  FUSE_CHECK(m > 0 && t > 0 && n > 0)
+      << "matmul_latency(" << m << ", " << t << ", " << n << ")";
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  std::int64_t last_rows = 0;
+  for (std::int64_t row0 = 0; row0 < m; row0 += cfg.rows) {
+    const std::int64_t used_rows = std::min(cfg.rows, m - row0);
+    for (std::int64_t col0 = 0; col0 < n; col0 += cfg.cols) {
+      const std::int64_t used_cols = std::min(cfg.cols, n - col0);
+      if (cfg.overlap_fold_drain) {
+        // Drain overlaps the next fold's fill; only the last fold pays it.
+        est.cycles += static_cast<std::uint64_t>((used_rows - 1) +
+                                                 (used_cols - 1) + t);
+        last_rows = used_rows;
+      } else {
+        est.cycles += fold_cycles(used_rows, used_cols, t);
+      }
+      est.folds += 1;
+      est.mac_ops += static_cast<std::uint64_t>(used_rows) *
+                     static_cast<std::uint64_t>(used_cols) *
+                     static_cast<std::uint64_t>(t);
+    }
+  }
+  if (cfg.overlap_fold_drain) {
+    est.cycles += static_cast<std::uint64_t>(last_rows);
+  }
+  return est;
+}
+
+LatencyEstimate matmul_latency_ws(std::int64_t m, std::int64_t t,
+                                  std::int64_t n, const ArrayConfig& cfg) {
+  cfg.validate();
+  FUSE_CHECK(m > 0 && t > 0 && n > 0)
+      << "matmul_latency_ws(" << m << ", " << t << ", " << n << ")";
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  bool first_fold = true;
+  for (std::int64_t t0 = 0; t0 < t; t0 += cfg.rows) {
+    const std::int64_t used_t = std::min(cfg.rows, t - t0);
+    for (std::int64_t col0 = 0; col0 < n; col0 += cfg.cols) {
+      const std::int64_t used_n = std::min(cfg.cols, n - col0);
+      // Preload hides behind the previous fold's streaming when weights
+      // are double-buffered.
+      if (first_fold || !cfg.overlap_fold_drain) {
+        est.cycles += static_cast<std::uint64_t>(used_t);
+      }
+      first_fold = false;
+      est.cycles += static_cast<std::uint64_t>(m + used_t + used_n - 2);
+      est.folds += 1;
+      est.mac_ops += static_cast<std::uint64_t>(m) *
+                     static_cast<std::uint64_t>(used_t) *
+                     static_cast<std::uint64_t>(used_n);
+    }
+  }
+  return est;
+}
+
+LatencyEstimate matmul_latency_is(std::int64_t m, std::int64_t t,
+                                  std::int64_t n, const ArrayConfig& cfg) {
+  cfg.validate();
+  FUSE_CHECK(m > 0 && t > 0 && n > 0)
+      << "matmul_latency_is(" << m << ", " << t << ", " << n << ")";
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  bool first_fold = true;
+  for (std::int64_t row0 = 0; row0 < m; row0 += cfg.rows) {
+    const std::int64_t used_m = std::min(cfg.rows, m - row0);
+    for (std::int64_t t0 = 0; t0 < t; t0 += cfg.cols) {
+      const std::int64_t used_t = std::min(cfg.cols, t - t0);
+      if (first_fold || !cfg.overlap_fold_drain) {
+        est.cycles += static_cast<std::uint64_t>(used_m);
+      }
+      first_fold = false;
+      est.cycles += static_cast<std::uint64_t>(n + used_m + used_t - 2);
+      est.folds += 1;
+      est.mac_ops += static_cast<std::uint64_t>(n) *
+                     static_cast<std::uint64_t>(used_m) *
+                     static_cast<std::uint64_t>(used_t);
+    }
+  }
+  return est;
+}
+
+LatencyEstimate conv_im2col_latency(std::int64_t out_h, std::int64_t out_w,
+                                    std::int64_t k_h, std::int64_t k_w,
+                                    std::int64_t in_c, std::int64_t out_c,
+                                    const ArrayConfig& cfg) {
+  return matmul_latency(out_h * out_w, k_h * k_w * in_c, out_c, cfg);
+}
+
+LatencyEstimate depthwise_im2col_latency(std::int64_t channels,
+                                         std::int64_t out_h,
+                                         std::int64_t out_w, std::int64_t k,
+                                         const ArrayConfig& cfg) {
+  FUSE_CHECK(channels > 0) << "depthwise needs channels > 0";
+  // One single-column matmul per channel; different channels read different
+  // inputs, so the idle columns cannot be given to other channels (§III-B).
+  const LatencyEstimate per_channel =
+      matmul_latency(out_h * out_w, k * k, /*n=*/1, cfg);
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  est.cycles = per_channel.cycles * static_cast<std::uint64_t>(channels);
+  est.folds = per_channel.folds * static_cast<std::uint64_t>(channels);
+  est.mac_ops = per_channel.mac_ops * static_cast<std::uint64_t>(channels);
+  return est;
+}
+
+LatencyEstimate conv_channelwise_latency(std::int64_t out_h,
+                                         std::int64_t out_w, std::int64_t k_h,
+                                         std::int64_t k_w, std::int64_t in_c,
+                                         std::int64_t out_c,
+                                         const ArrayConfig& cfg) {
+  // One [positions, in_c] x [in_c, out_c] matmul per kernel tap; the adder
+  // tree reduction is folded into the drain already counted per fold.
+  const LatencyEstimate per_tap =
+      matmul_latency(out_h * out_w, in_c, out_c, cfg);
+  const std::uint64_t taps =
+      static_cast<std::uint64_t>(k_h) * static_cast<std::uint64_t>(k_w);
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  est.cycles = per_tap.cycles * taps;
+  est.folds = per_tap.folds * taps;
+  est.mac_ops = per_tap.mac_ops * taps;
+  return est;
+}
+
+LatencyEstimate fuse1d_latency(std::int64_t lines, std::int64_t line_out,
+                               std::int64_t k, const ArrayConfig& cfg) {
+  cfg.validate();
+  FUSE_CHECK(cfg.broadcast_links)
+      << "fuse1d_latency models the proposed broadcast dataflow; "
+         "use fuse1d_no_broadcast_latency for a baseline array";
+  FUSE_CHECK(lines > 0 && line_out > 0 && k > 0)
+      << "fuse1d_latency(" << lines << ", " << line_out << ", " << k << ")";
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  std::int64_t last_rows = 0;
+  for (std::int64_t line0 = 0; line0 < lines; line0 += cfg.rows) {
+    const std::int64_t used_rows = std::min(cfg.rows, lines - line0);
+    for (std::int64_t out0 = 0; out0 < line_out; out0 += cfg.cols) {
+      const std::int64_t used_cols = std::min(cfg.cols, line_out - out0);
+      // Input skew along the row + k broadcast MAC cycles (+ drain, unless
+      // it overlaps the next wave's fill).
+      est.cycles += static_cast<std::uint64_t>((used_cols - 1) + k);
+      if (cfg.overlap_fold_drain) {
+        last_rows = used_rows;
+      } else {
+        est.cycles += static_cast<std::uint64_t>(used_rows);
+      }
+      est.folds += 1;
+      est.mac_ops += static_cast<std::uint64_t>(used_rows) *
+                     static_cast<std::uint64_t>(used_cols) *
+                     static_cast<std::uint64_t>(k);
+    }
+  }
+  if (cfg.overlap_fold_drain) {
+    est.cycles += static_cast<std::uint64_t>(last_rows);
+  }
+  return est;
+}
+
+LatencyEstimate fuse1d_no_broadcast_latency(std::int64_t lines,
+                                            std::int64_t line_out,
+                                            std::int64_t k,
+                                            const ArrayConfig& cfg) {
+  FUSE_CHECK(lines > 0) << "fuse1d needs lines > 0";
+  const LatencyEstimate per_line = matmul_latency(line_out, k, /*n=*/1, cfg);
+  LatencyEstimate est;
+  est.pe_count = cfg.pe_count();
+  est.cycles = per_line.cycles * static_cast<std::uint64_t>(lines);
+  est.folds = per_line.folds * static_cast<std::uint64_t>(lines);
+  est.mac_ops = per_line.mac_ops * static_cast<std::uint64_t>(lines);
+  return est;
+}
+
+LatencyEstimate fully_connected_latency(std::int64_t in_f,
+                                        std::int64_t out_f,
+                                        const ArrayConfig& cfg) {
+  return matmul_latency(/*m=*/1, in_f, out_f, cfg);
+}
+
+}  // namespace fuse::systolic

@@ -1,0 +1,132 @@
+// Analytic cycle model (SCALE-Sim methodology, §V-A3 of the paper).
+//
+// Performance is assumed limited only by operations on the array: we add up
+// the cycles to load values into the array (wavefront skew), compute in the
+// MACs, systolically communicate partials, and flush outputs. Main memory
+// and buffers are assumed never to stall the array.
+//
+// The primitive is one output-stationary *fold*: an R x Cc output tile
+// (R <= rows, Cc <= cols) with reduction depth T costs
+//
+//   cycles(R, Cc, T) = (R - 1) + (Cc - 1)   // skew to fill the wavefront
+//                    + T                    // one MAC per PE per cycle
+//                    + R                    // drain partials down columns
+//
+// The cycle-level simulator in sim.hpp implements the same dataflow with a
+// real PE grid and is asserted in tests to match these counts exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "systolic/config.hpp"
+
+namespace fuse::systolic {
+
+/// Aggregated cost of running one operator on the array.
+struct LatencyEstimate {
+  std::uint64_t cycles = 0;
+  std::uint64_t folds = 0;    // number of array passes
+  std::uint64_t mac_ops = 0;  // useful multiply-accumulates performed
+  std::int64_t pe_count = 0;  // PEs in the array used for utilization
+
+  /// Fraction of PE-cycles doing useful MACs, in [0, 1].
+  double utilization() const {
+    if (cycles == 0 || pe_count == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(mac_ops) /
+           (static_cast<double>(cycles) * static_cast<double>(pe_count));
+  }
+
+  /// Accumulates another operator's cost (operators run back-to-back).
+  LatencyEstimate& operator+=(const LatencyEstimate& other);
+};
+
+/// Cycles for a single output-stationary fold (exposed for tests).
+std::uint64_t fold_cycles(std::int64_t used_rows, std::int64_t used_cols,
+                          std::int64_t depth);
+
+/// Dense matmul [M, T] x [T, N] on the configured dataflow (dispatches to
+/// one of the three models below).
+LatencyEstimate matmul_latency(std::int64_t m, std::int64_t t,
+                               std::int64_t n, const ArrayConfig& cfg);
+
+/// Output stationary (the paper's dataflow, Fig. 1(d)): ceil(M/rows) x
+/// ceil(N/cols) folds; per fold (R-1)+(Cc-1)+T skew+compute plus an R-cycle
+/// drain (hidden by the next fold when overlap_fold_drain).
+LatencyEstimate matmul_latency_os(std::int64_t m, std::int64_t t,
+                                  std::int64_t n, const ArrayConfig& cfg);
+
+/// Weight stationary (TPU-style): the [T, N] weight matrix is tiled into
+/// ceil(T/rows) x ceil(N/cols) folds. Each fold preloads its T_u x N_u
+/// weight tile (T_u cycles) and streams all M activation rows through;
+/// partial sums cascade down and accumulate in per-column accumulators
+/// across reduction folds. Per fold: T_u preload + (M + T_u + N_u - 2)
+/// streaming; with overlap_fold_drain the preload of fold k+1 hides behind
+/// fold k's streaming (double-buffered weight registers), so only the
+/// first fold pays it.
+LatencyEstimate matmul_latency_ws(std::int64_t m, std::int64_t t,
+                                  std::int64_t n, const ArrayConfig& cfg);
+
+/// Input stationary: symmetric to WS with the [M, T] activation matrix
+/// pinned in the array (M_u x T_u tiles) and weight columns streaming.
+/// Per fold: M_u preload + (N + M_u + T_u - 2) streaming.
+LatencyEstimate matmul_latency_is(std::int64_t m, std::int64_t t,
+                                  std::int64_t n, const ArrayConfig& cfg);
+
+/// Standard convolution lowered with im2col:
+/// M = out_h*out_w positions, T = k_h*k_w*in_c taps, N = out_c filters.
+LatencyEstimate conv_im2col_latency(std::int64_t out_h, std::int64_t out_w,
+                                    std::int64_t k_h, std::int64_t k_w,
+                                    std::int64_t in_c, std::int64_t out_c,
+                                    const ArrayConfig& cfg);
+
+/// Depthwise convolution lowered with im2col. Each channel is an
+/// independent [positions, k*k] x [k*k, 1] matmul: the lowered filter has a
+/// single column, and because each channel needs different input data the
+/// remaining columns of the array cannot be shared (paper §III-B) — so the
+/// channels serialize, each using one column.
+LatencyEstimate depthwise_im2col_latency(std::int64_t channels,
+                                         std::int64_t out_h,
+                                         std::int64_t out_w, std::int64_t k,
+                                         const ArrayConfig& cfg);
+
+/// Alternative standard-conv mapping (paper Fig. 3(b)): channel-wise dot
+/// products, one [positions, in_c] x [in_c, out_c] matmul per kernel tap,
+/// partials reduced by the accelerator's adder tree. Not applicable to
+/// depthwise convolution (no computation spans channels).
+LatencyEstimate conv_channelwise_latency(std::int64_t out_h,
+                                         std::int64_t out_w, std::int64_t k_h,
+                                         std::int64_t k_w, std::int64_t in_c,
+                                         std::int64_t out_c,
+                                         const ArrayConfig& cfg);
+
+/// FuSeConv's 1-D convolution stage on the proposed broadcast dataflow
+/// (paper §IV-C). `lines` independent 1-D convolutions (channels x rows for
+/// the row branch, channels x cols for the column branch), each producing
+/// `line_out` outputs from a kernel of `k` taps. Each array row holds one
+/// line; the per-row broadcast bus delivers one weight per cycle to all
+/// PEs, so a wave of R lines x Cc outputs costs
+///   (Cc - 1) + k + R
+/// (input skew along the row, k broadcast MAC cycles, drain).
+/// Requires cfg.broadcast_links; without the links the 1-D convolutions
+/// degrade to the depthwise-style single-column mapping
+/// (fuse1d_no_broadcast_latency).
+LatencyEstimate fuse1d_latency(std::int64_t lines, std::int64_t line_out,
+                               std::int64_t k, const ArrayConfig& cfg);
+
+/// Fallback cost of the 1-D convolutions on a baseline array without
+/// broadcast links: each line is a [line_out, k] x [k, 1] matmul using one
+/// column, lines serialized. Used by the ablation that motivates the links.
+LatencyEstimate fuse1d_no_broadcast_latency(std::int64_t lines,
+                                            std::int64_t line_out,
+                                            std::int64_t k,
+                                            const ArrayConfig& cfg);
+
+/// Fully connected layer: [1, in_f] x [in_f, out_f] matmul (single row of
+/// the array; this is why FC layers are cheap but low-utilization).
+LatencyEstimate fully_connected_latency(std::int64_t in_f,
+                                        std::int64_t out_f,
+                                        const ArrayConfig& cfg);
+
+}  // namespace fuse::systolic

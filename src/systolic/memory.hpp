@@ -1,0 +1,98 @@
+// DRAM-traffic / roofline extension.
+//
+// The paper's methodology assumes performance is limited only by operations
+// on the array (§V-A3) — main memory and buffers never stall it. This
+// module quantifies when that assumption holds: it counts the DRAM traffic
+// each mapping generates (operands are re-streamed once per fold that
+// consumes them; outputs leave once), converts it to cycles under a
+// bandwidth, and combines with the compute cycles as a roofline
+// max(compute, memory). bench_ablation_memory sweeps the bandwidth and
+// reports where the FuSe speedup starts to erode.
+#pragma once
+
+#include <cstdint>
+
+#include "systolic/config.hpp"
+#include "systolic/cycle_model.hpp"
+
+namespace fuse::systolic {
+
+/// Off-array memory system. Default: FP16 operands, 16 bytes/cycle of DRAM
+/// bandwidth (e.g. 64-bit LPDDR4-class channel at ~2x the array clock).
+struct MemoryConfig {
+  double dram_bytes_per_cycle = 16.0;
+  std::int64_t dtype_bytes = 2;  // FP16, as in the paper's setup
+
+  void validate() const {
+    FUSE_CHECK(dram_bytes_per_cycle > 0.0 && dtype_bytes > 0)
+        << "bad memory config";
+  }
+};
+
+/// DRAM bytes moved by one operator.
+struct TrafficEstimate {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t weight_bytes = 0;
+  std::uint64_t output_bytes = 0;
+
+  std::uint64_t total_bytes() const {
+    return input_bytes + weight_bytes + output_bytes;
+  }
+
+  /// Cycles to move the traffic at the configured bandwidth.
+  std::uint64_t memory_cycles(const MemoryConfig& mem) const;
+
+  TrafficEstimate& operator+=(const TrafficEstimate& other);
+};
+
+/// Roofline combination of compute and memory cost. With double-buffered
+/// SRAM, transfers overlap compute, so the operator takes the max.
+struct RooflineLatency {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t memory_cycles = 0;
+
+  std::uint64_t bound_cycles() const {
+    return compute_cycles > memory_cycles ? compute_cycles : memory_cycles;
+  }
+  bool memory_bound() const { return memory_cycles > compute_cycles; }
+};
+
+// --- traffic per mapping ------------------------------------------------------
+// Re-streaming rule: in an output-stationary fold grid, the A operand is
+// read once per column-fold and B once per row-fold; outputs leave once.
+
+/// Dense matmul [M, T] x [T, N].
+TrafficEstimate matmul_traffic(std::int64_t m, std::int64_t t,
+                               std::int64_t n, const ArrayConfig& cfg,
+                               const MemoryConfig& mem);
+
+/// Standard conv via im2col: the lowered patch matrix is what streams, so
+/// input traffic is inflated by ~K^2 relative to the raw feature map —
+/// the transformation's hidden bandwidth cost (§III-B).
+TrafficEstimate conv_im2col_traffic(std::int64_t out_h, std::int64_t out_w,
+                                    std::int64_t k_h, std::int64_t k_w,
+                                    std::int64_t in_c, std::int64_t out_c,
+                                    const ArrayConfig& cfg,
+                                    const MemoryConfig& mem);
+
+/// Depthwise conv, channel-serialized single-column mapping.
+TrafficEstimate depthwise_im2col_traffic(std::int64_t channels,
+                                         std::int64_t out_h,
+                                         std::int64_t out_w, std::int64_t k,
+                                         const ArrayConfig& cfg,
+                                         const MemoryConfig& mem);
+
+/// FuSeConv 1-D stage on the broadcast dataflow: each wave re-reads its
+/// input window (line_out + k - 1 values per line per column-fold) and the
+/// k broadcast weights; no im2col inflation.
+TrafficEstimate fuse1d_traffic(std::int64_t lines, std::int64_t line_out,
+                               std::int64_t k, const ArrayConfig& cfg,
+                               const MemoryConfig& mem);
+
+/// Fully connected [1, in] x [in, out].
+TrafficEstimate fully_connected_traffic(std::int64_t in_f,
+                                        std::int64_t out_f,
+                                        const ArrayConfig& cfg,
+                                        const MemoryConfig& mem);
+
+}  // namespace fuse::systolic

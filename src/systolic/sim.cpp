@@ -1,0 +1,396 @@
+#include "systolic/sim.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fuse::systolic {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+SystolicArraySim::SystolicArraySim(ArrayConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+SimResult SystolicArraySim::matmul(const Tensor& a, const Tensor& b) {
+  switch (cfg_.dataflow) {
+    case Dataflow::kOutputStationary:
+      return matmul_os(a, b);
+    case Dataflow::kWeightStationary:
+      return matmul_ws(a, b);
+    case Dataflow::kInputStationary:
+      return matmul_is(a, b);
+  }
+  FUSE_CHECK(false) << "unknown dataflow";
+  return {};
+}
+
+SimResult SystolicArraySim::matmul_os(const Tensor& a, const Tensor& b) {
+  FUSE_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2)
+      << "sim matmul expects rank-2 operands";
+  FUSE_CHECK(a.shape().dim(1) == b.shape().dim(0))
+      << "sim matmul inner dims differ: " << a.shape().to_string() << " x "
+      << b.shape().to_string();
+  const std::int64_t m = a.shape().dim(0);
+  const std::int64_t depth = a.shape().dim(1);
+  const std::int64_t n = b.shape().dim(1);
+
+  SimResult result;
+  result.output = Tensor(Shape{m, n});
+  result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
+
+  for (std::int64_t row0 = 0; row0 < m; row0 += cfg_.rows) {
+    const std::int64_t used_rows = std::min(cfg_.rows, m - row0);
+    for (std::int64_t col0 = 0; col0 < n; col0 += cfg_.cols) {
+      const std::int64_t used_cols = std::min(cfg_.cols, n - col0);
+      result.folds += 1;
+
+      // Per-PE state. reg_* hold the operand a PE exposes to its neighbor
+      // next cycle; double-buffered so the update is simultaneous.
+      const auto idx = [&](std::int64_t i, std::int64_t j) {
+        return static_cast<std::size_t>(i * used_cols + j);
+      };
+      std::vector<double> acc(idx(used_rows - 1, used_cols - 1) + 1, 0.0);
+      std::vector<float> a_reg(acc.size(), 0.0F);
+      std::vector<float> b_reg(acc.size(), 0.0F);
+      std::vector<float> a_next(acc.size(), 0.0F);
+      std::vector<float> b_next(acc.size(), 0.0F);
+
+      // Edge feeders: row i of the fold receives A[row0+i][t - i] at cycle
+      // t; column j receives B[t - j][col0+j]. Outside the valid window the
+      // feeder emits zero (the pipeline bubble of the skewed wavefront).
+      const auto feed_a = [&](std::int64_t i, std::int64_t t) -> float {
+        const std::int64_t k = t - i;
+        return (k >= 0 && k < depth) ? a.at(row0 + i, k) : 0.0F;
+      };
+      const auto feed_b = [&](std::int64_t j, std::int64_t t) -> float {
+        const std::int64_t k = t - j;
+        return (k >= 0 && k < depth) ? b.at(k, col0 + j) : 0.0F;
+      };
+
+      const std::int64_t compute_cycles =
+          (used_rows - 1) + (used_cols - 1) + depth;
+      for (std::int64_t t = 0; t < compute_cycles; ++t) {
+        for (std::int64_t i = 0; i < used_rows; ++i) {
+          for (std::int64_t j = 0; j < used_cols; ++j) {
+            const float a_in =
+                (j == 0) ? feed_a(i, t) : a_reg[idx(i, j - 1)];
+            const float b_in =
+                (i == 0) ? feed_b(j, t) : b_reg[idx(i - 1, j)];
+            acc[idx(i, j)] +=
+                static_cast<double>(a_in) * static_cast<double>(b_in);
+            // PE (i,j) holds live operands exactly while t - i - j is
+            // inside the reduction window; everything else is the skew
+            // bubble. This makes mac_ops == R*Cc*depth per fold.
+            const std::int64_t k = t - i - j;
+            if (k >= 0 && k < depth) {
+              result.mac_ops += 1;
+              result.pe_busy.at(i, j) += 1.0F;
+            }
+            a_next[idx(i, j)] = a_in;
+            b_next[idx(i, j)] = b_in;
+          }
+        }
+        a_reg.swap(a_next);
+        b_reg.swap(b_next);
+      }
+
+      // Drain: accumulators shift down their column one PE per cycle and
+      // exit at the bottom edge — used_rows cycles.
+      for (std::int64_t d = 0; d < used_rows; ++d) {
+        const std::int64_t i = used_rows - 1 - d;  // row exiting this cycle
+        for (std::int64_t j = 0; j < used_cols; ++j) {
+          result.output.at(row0 + i, col0 + j) =
+              static_cast<float>(acc[idx(i, j)]);
+        }
+      }
+
+      result.cycles += static_cast<std::uint64_t>(compute_cycles) +
+                       static_cast<std::uint64_t>(used_rows);
+    }
+  }
+  return result;
+}
+
+SimResult SystolicArraySim::matmul_ws(const Tensor& a, const Tensor& b) {
+  FUSE_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2)
+      << "sim matmul_ws expects rank-2 operands";
+  FUSE_CHECK(a.shape().dim(1) == b.shape().dim(0))
+      << "sim matmul_ws inner dims differ: " << a.shape().to_string()
+      << " x " << b.shape().to_string();
+  const std::int64_t m = a.shape().dim(0);
+  const std::int64_t depth = a.shape().dim(1);
+  const std::int64_t n = b.shape().dim(1);
+
+  SimResult result;
+  result.output = Tensor(Shape{m, n});
+  result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
+  // Off-array accumulators: partial sums from successive reduction folds
+  // of the same output tile are summed here (read-modify-write, free as in
+  // the analytic model).
+  std::vector<double> acc(static_cast<std::size_t>(m * n), 0.0);
+
+  for (std::int64_t t0 = 0; t0 < depth; t0 += cfg_.rows) {
+    const std::int64_t used_t = std::min(cfg_.rows, depth - t0);
+    for (std::int64_t col0 = 0; col0 < n; col0 += cfg_.cols) {
+      const std::int64_t used_n = std::min(cfg_.cols, n - col0);
+      result.folds += 1;
+
+      const auto idx = [&](std::int64_t i, std::int64_t j) {
+        return static_cast<std::size_t>(i * used_n + j);
+      };
+      // Preload the weight tile, one row per cycle.
+      std::vector<float> w(idx(used_t - 1, used_n - 1) + 1, 0.0F);
+      for (std::int64_t i = 0; i < used_t; ++i) {
+        for (std::int64_t j = 0; j < used_n; ++j) {
+          w[idx(i, j)] = b.at(t0 + i, col0 + j);
+        }
+      }
+      result.cycles += static_cast<std::uint64_t>(used_t);
+
+      // Stream the M activation rows; partial sums cascade downward.
+      std::vector<float> a_reg(w.size(), 0.0F);
+      std::vector<float> a_next(w.size(), 0.0F);
+      std::vector<double> ps_reg(w.size(), 0.0);
+      std::vector<double> ps_next(w.size(), 0.0);
+      const std::int64_t stream_cycles = m + used_t + used_n - 2;
+      for (std::int64_t s = 0; s < stream_cycles; ++s) {
+        for (std::int64_t i = 0; i < used_t; ++i) {
+          for (std::int64_t j = 0; j < used_n; ++j) {
+            const std::int64_t row_index = s - i - j;  // activation row at
+                                                       // this PE this cycle
+            float a_in = 0.0F;
+            if (j == 0) {
+              const std::int64_t feeder_row = s - i;
+              a_in = (feeder_row >= 0 && feeder_row < m)
+                         ? a.at(feeder_row, t0 + i)
+                         : 0.0F;
+            } else {
+              a_in = a_reg[idx(i, j - 1)];
+            }
+            const double ps_in = (i == 0) ? 0.0 : ps_reg[idx(i - 1, j)];
+            const double ps_out =
+                ps_in + static_cast<double>(w[idx(i, j)]) *
+                            static_cast<double>(a_in);
+            if (row_index >= 0 && row_index < m) {
+              result.mac_ops += 1;
+              result.pe_busy.at(i, j) += 1.0F;
+            }
+            a_next[idx(i, j)] = a_in;
+            ps_next[idx(i, j)] = ps_out;
+            // Bottom row: the cascaded sum for activation row `exit_row`
+            // leaves the array into the accumulators.
+            if (i == used_t - 1) {
+              const std::int64_t exit_row = s - (used_t - 1) - j;
+              if (exit_row >= 0 && exit_row < m) {
+                acc[static_cast<std::size_t>(exit_row * n + col0 + j)] +=
+                    ps_out;
+              }
+            }
+          }
+        }
+        a_reg.swap(a_next);
+        ps_reg.swap(ps_next);
+      }
+      result.cycles += static_cast<std::uint64_t>(stream_cycles);
+    }
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    result.output[i] = static_cast<float>(acc[static_cast<std::size_t>(i)]);
+  }
+  return result;
+}
+
+SimResult SystolicArraySim::matmul_is(const Tensor& a, const Tensor& b) {
+  FUSE_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2)
+      << "sim matmul_is expects rank-2 operands";
+  FUSE_CHECK(a.shape().dim(1) == b.shape().dim(0))
+      << "sim matmul_is inner dims differ: " << a.shape().to_string()
+      << " x " << b.shape().to_string();
+  const std::int64_t m = a.shape().dim(0);
+  const std::int64_t depth = a.shape().dim(1);
+  const std::int64_t n = b.shape().dim(1);
+
+  SimResult result;
+  result.output = Tensor(Shape{m, n});
+  result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
+  std::vector<double> acc(static_cast<std::size_t>(m * n), 0.0);
+
+  for (std::int64_t row0 = 0; row0 < m; row0 += cfg_.rows) {
+    const std::int64_t used_m = std::min(cfg_.rows, m - row0);
+    for (std::int64_t t0 = 0; t0 < depth; t0 += cfg_.cols) {
+      const std::int64_t used_t = std::min(cfg_.cols, depth - t0);
+      result.folds += 1;
+
+      const auto idx = [&](std::int64_t i, std::int64_t j) {
+        return static_cast<std::size_t>(i * used_t + j);
+      };
+      // Preload the activation tile, one row per cycle.
+      std::vector<float> pinned(idx(used_m - 1, used_t - 1) + 1, 0.0F);
+      for (std::int64_t i = 0; i < used_m; ++i) {
+        for (std::int64_t j = 0; j < used_t; ++j) {
+          pinned[idx(i, j)] = a.at(row0 + i, t0 + j);
+        }
+      }
+      result.cycles += static_cast<std::uint64_t>(used_m);
+
+      // Stream B's columns down the array; partial sums cascade rightward.
+      std::vector<float> b_reg(pinned.size(), 0.0F);
+      std::vector<float> b_next(pinned.size(), 0.0F);
+      std::vector<double> ps_reg(pinned.size(), 0.0);
+      std::vector<double> ps_next(pinned.size(), 0.0);
+      const std::int64_t stream_cycles = n + used_m + used_t - 2;
+      for (std::int64_t s = 0; s < stream_cycles; ++s) {
+        for (std::int64_t i = 0; i < used_m; ++i) {
+          for (std::int64_t j = 0; j < used_t; ++j) {
+            const std::int64_t out_col = s - i - j;  // output column here
+            float b_in = 0.0F;
+            if (i == 0) {
+              const std::int64_t feeder_col = s - j;
+              b_in = (feeder_col >= 0 && feeder_col < n)
+                         ? b.at(t0 + j, feeder_col)
+                         : 0.0F;
+            } else {
+              b_in = b_reg[idx(i - 1, j)];
+            }
+            const double ps_in = (j == 0) ? 0.0 : ps_reg[idx(i, j - 1)];
+            const double ps_out =
+                ps_in + static_cast<double>(pinned[idx(i, j)]) *
+                            static_cast<double>(b_in);
+            if (out_col >= 0 && out_col < n) {
+              result.mac_ops += 1;
+              result.pe_busy.at(i, j) += 1.0F;
+            }
+            b_next[idx(i, j)] = b_in;
+            ps_next[idx(i, j)] = ps_out;
+            if (j == used_t - 1) {
+              const std::int64_t exit_col = s - (used_t - 1) - i;
+              if (exit_col >= 0 && exit_col < n) {
+                acc[static_cast<std::size_t>((row0 + i) * n + exit_col)] +=
+                    ps_out;
+              }
+            }
+          }
+        }
+        b_reg.swap(b_next);
+        ps_reg.swap(ps_next);
+      }
+      result.cycles += static_cast<std::uint64_t>(stream_cycles);
+    }
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    result.output[i] = static_cast<float>(acc[static_cast<std::size_t>(i)]);
+  }
+  return result;
+}
+
+SimResult SystolicArraySim::conv1d_broadcast(const Tensor& lines,
+                                             const Tensor& kernels) {
+  FUSE_CHECK(cfg_.broadcast_links)
+      << "conv1d_broadcast requires an array with row broadcast links";
+  FUSE_CHECK(lines.shape().rank() == 2 && kernels.shape().rank() == 2)
+      << "conv1d_broadcast expects lines [L, W] and kernels [L, K]";
+  FUSE_CHECK(lines.shape().dim(0) == kernels.shape().dim(0))
+      << "line/kernel count mismatch: " << lines.shape().to_string()
+      << " vs " << kernels.shape().to_string();
+  const std::int64_t num_lines = lines.shape().dim(0);
+  const std::int64_t width = lines.shape().dim(1);
+  const std::int64_t taps = kernels.shape().dim(1);
+  FUSE_CHECK(width >= taps) << "line shorter than kernel: W=" << width
+                            << " K=" << taps;
+  const std::int64_t out_w = width - taps + 1;
+
+  SimResult result;
+  result.output = Tensor(Shape{num_lines, out_w});
+  result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
+
+  for (std::int64_t line0 = 0; line0 < num_lines; line0 += cfg_.rows) {
+    const std::int64_t used_rows = std::min(cfg_.rows, num_lines - line0);
+    for (std::int64_t out0 = 0; out0 < out_w; out0 += cfg_.cols) {
+      const std::int64_t used_cols = std::min(cfg_.cols, out_w - out0);
+      result.folds += 1;
+
+      const auto idx = [&](std::int64_t r, std::int64_t c) {
+        return static_cast<std::size_t>(r * used_cols + c);
+      };
+      std::vector<double> acc(idx(used_rows - 1, used_cols - 1) + 1, 0.0);
+      std::vector<float> window(acc.size(), 0.0F);
+
+      // One leftward shift of every row's input window; the right edge
+      // injects lines[line][out0 + inject].
+      const auto shift_in = [&](std::int64_t inject) {
+        for (std::int64_t r = 0; r < used_rows; ++r) {
+          for (std::int64_t c = 0; c + 1 < used_cols; ++c) {
+            window[idx(r, c)] = window[idx(r, c + 1)];
+          }
+          window[idx(r, used_cols - 1)] =
+              lines.at(line0 + r, out0 + inject);
+        }
+      };
+
+      // Phase 1 — prefill: (used_cols - 1) cycles stream the first window
+      // values through the row so PE c holds lines[.][out0 + c] when the
+      // first weight is broadcast.
+      for (std::int64_t p = 0; p + 1 < used_cols; ++p) {
+        shift_in(p);
+      }
+
+      // Phase 2 — compute: at cycle k the row bus broadcasts
+      // kernels[line][k]; the window advances one step first so PE c sees
+      // lines[.][out0 + c + k].
+      for (std::int64_t k = 0; k < taps; ++k) {
+        shift_in(used_cols - 1 + k);
+        for (std::int64_t r = 0; r < used_rows; ++r) {
+          const float weight = kernels.at(line0 + r, k);
+          for (std::int64_t c = 0; c < used_cols; ++c) {
+            acc[idx(r, c)] += static_cast<double>(weight) *
+                              static_cast<double>(window[idx(r, c)]);
+            result.mac_ops += 1;
+            result.pe_busy.at(r, c) += 1.0F;
+          }
+        }
+      }
+
+      // Phase 3 — drain down the columns, used_rows cycles.
+      for (std::int64_t r = 0; r < used_rows; ++r) {
+        for (std::int64_t c = 0; c < used_cols; ++c) {
+          result.output.at(line0 + r, out0 + c) =
+              static_cast<float>(acc[idx(r, c)]);
+        }
+      }
+
+      result.cycles += static_cast<std::uint64_t>((used_cols - 1) + taps +
+                                                  used_rows);
+    }
+  }
+  return result;
+}
+
+std::string render_pe_heatmap(const Tensor& pe_busy) {
+  FUSE_CHECK(pe_busy.shape().rank() == 2)
+      << "pe_busy must be [rows, cols], got " << pe_busy.shape().to_string();
+  const float peak = pe_busy.abs_max();
+  std::string out;
+  const std::int64_t rows = pe_busy.shape().dim(0);
+  const std::int64_t cols = pe_busy.shape().dim(1);
+  out.reserve(static_cast<std::size_t>(rows * (cols + 1)));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float v = pe_busy.at(r, c);
+      if (v <= 0.0F) {
+        out.push_back('.');
+      } else {
+        const int level =
+            1 + static_cast<int>(8.0F * v / peak);  // 1..9
+        out.push_back(static_cast<char>('0' + std::min(level, 9)));
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace fuse::systolic

@@ -1,0 +1,80 @@
+// Cycle-level functional simulator of the systolic array.
+//
+// Unlike the closed-form model in cycle_model.hpp, this steps a real grid
+// of PEs cycle by cycle: operands enter skewed at the array edges, move one
+// PE per cycle, each PE performs one MAC per cycle, and outputs are drained
+// down the columns. It therefore produces both the numeric result and the
+// exact cycle count, and the tests assert that
+//   (1) results match the fuse::nn reference operators, and
+//   (2) cycle counts match cycle_model.hpp exactly
+// for both the classic output-stationary dataflow and the paper's proposed
+// row-broadcast dataflow (Fig. 5/7).
+#pragma once
+
+#include <cstdint>
+
+#include "systolic/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fuse::systolic {
+
+/// Output and measured cost of one simulated operator.
+struct SimResult {
+  tensor::Tensor output;
+  std::uint64_t cycles = 0;
+  std::uint64_t folds = 0;
+  std::uint64_t mac_ops = 0;  // MACs with a live operand (not pipeline zeros)
+
+  /// Per-PE busy-cycle counts over the whole call, shape [rows, cols] of
+  /// the physical array. sum == mac_ops. Renders the utilization pathology
+  /// directly: a depthwise im2col matmul lights up one column; the
+  /// broadcast dataflow lights up the full grid (cf. paper Fig. 2(c) vs
+  /// Fig. 7).
+  tensor::Tensor pe_busy;
+};
+
+/// ASCII heatmap of a busy-count grid: '.' for idle, '1'..'9' scaled to
+/// the maximum count. One text row per array row.
+std::string render_pe_heatmap(const tensor::Tensor& pe_busy);
+
+/// A software model of the PE grid. Stateless between calls; each call
+/// tiles its operands over the array and simulates every fold.
+class SystolicArraySim {
+ public:
+  explicit SystolicArraySim(ArrayConfig cfg);
+
+  const ArrayConfig& config() const { return cfg_; }
+
+  /// Matmul a [M, T] x b [T, N] -> [M, N] on the configured dataflow.
+  SimResult matmul(const tensor::Tensor& a, const tensor::Tensor& b);
+
+  /// Output-stationary matmul: A streams in from the left edge
+  /// (row-skewed), B from the top edge (column-skewed); each PE
+  /// accumulates its output in place and the result is shifted out down
+  /// the columns (paper Fig. 1(d)).
+  SimResult matmul_os(const tensor::Tensor& a, const tensor::Tensor& b);
+
+  /// Weight-stationary matmul (TPU-style): each fold preloads a
+  /// rows x cols tile of B into the PEs, then streams the M rows of A
+  /// through from the left while partial sums cascade down the columns
+  /// into accumulators (which also sum across reduction folds).
+  SimResult matmul_ws(const tensor::Tensor& a, const tensor::Tensor& b);
+
+  /// Input-stationary matmul: symmetric to WS with A's tiles pinned in the
+  /// PEs and B's columns streaming.
+  SimResult matmul_is(const tensor::Tensor& a, const tensor::Tensor& b);
+
+  /// The proposed FuSeConv dataflow: `lines` [L, W] independent 1-D signals
+  /// convolved ('valid', stride 1) with per-line `kernels` [L, K] ->
+  /// [L, W-K+1]. Each array row holds one line; at compute cycle k the
+  /// row's broadcast bus carries kernels[l][k] to all PEs while the input
+  /// window slides leftward through the row (paper Fig. 7).
+  /// Requires config().broadcast_links.
+  SimResult conv1d_broadcast(const tensor::Tensor& lines,
+                             const tensor::Tensor& kernels);
+
+ private:
+  ArrayConfig cfg_;
+};
+
+}  // namespace fuse::systolic

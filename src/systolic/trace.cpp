@@ -1,0 +1,124 @@
+#include "systolic/trace.hpp"
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fuse::systolic {
+
+std::uint64_t FoldTrace::peak_fold_bytes() const {
+  std::uint64_t peak = 0;
+  for (const FoldRecord& fold : folds) {
+    peak = std::max(peak, fold.input_bytes + fold.weight_bytes +
+                              fold.output_bytes);
+  }
+  return peak;
+}
+
+FoldTrace matmul_trace(std::int64_t m, std::int64_t t, std::int64_t n,
+                       const ArrayConfig& cfg, const MemoryConfig& mem) {
+  cfg.validate();
+  mem.validate();
+  FUSE_CHECK(m > 0 && t > 0 && n > 0) << "matmul_trace dims";
+  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
+
+  FoldTrace trace;
+  std::uint64_t cursor = 0;
+  std::int64_t last_rows = 0;
+  for (std::int64_t row0 = 0; row0 < m; row0 += cfg.rows) {
+    const std::int64_t used_rows = std::min(cfg.rows, m - row0);
+    for (std::int64_t col0 = 0; col0 < n; col0 += cfg.cols) {
+      const std::int64_t used_cols = std::min(cfg.cols, n - col0);
+      FoldRecord fold;
+      fold.used_rows = used_rows;
+      fold.used_cols = used_cols;
+      fold.depth = t;
+      fold.input_bytes =
+          static_cast<std::uint64_t>(used_rows * t) * dtype;
+      fold.weight_bytes =
+          static_cast<std::uint64_t>(t * used_cols) * dtype;
+      fold.output_bytes =
+          static_cast<std::uint64_t>(used_rows * used_cols) * dtype;
+      std::uint64_t cycles = static_cast<std::uint64_t>(
+          (used_rows - 1) + (used_cols - 1) + t);
+      if (!cfg.overlap_fold_drain) {
+        cycles += static_cast<std::uint64_t>(used_rows);
+      }
+      last_rows = used_rows;
+      fold.start_cycle = cursor;
+      fold.end_cycle = cursor + cycles;
+      cursor = fold.end_cycle;
+      trace.folds.push_back(fold);
+    }
+  }
+  if (cfg.overlap_fold_drain) {
+    cursor += static_cast<std::uint64_t>(last_rows);
+  }
+  trace.total_cycles = cursor;
+  return trace;
+}
+
+FoldTrace fuse1d_trace(std::int64_t lines, std::int64_t line_out,
+                       std::int64_t k, const ArrayConfig& cfg,
+                       const MemoryConfig& mem) {
+  cfg.validate();
+  mem.validate();
+  FUSE_CHECK(cfg.broadcast_links)
+      << "fuse1d_trace models the broadcast dataflow";
+  FUSE_CHECK(lines > 0 && line_out > 0 && k > 0) << "fuse1d_trace dims";
+  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
+
+  FoldTrace trace;
+  std::uint64_t cursor = 0;
+  std::int64_t last_rows = 0;
+  for (std::int64_t line0 = 0; line0 < lines; line0 += cfg.rows) {
+    const std::int64_t used_rows = std::min(cfg.rows, lines - line0);
+    for (std::int64_t out0 = 0; out0 < line_out; out0 += cfg.cols) {
+      const std::int64_t used_cols = std::min(cfg.cols, line_out - out0);
+      FoldRecord fold;
+      fold.used_rows = used_rows;
+      fold.used_cols = used_cols;
+      fold.depth = k;
+      fold.input_bytes = static_cast<std::uint64_t>(
+                             used_rows * (used_cols + k - 1)) *
+                         dtype;
+      fold.weight_bytes = static_cast<std::uint64_t>(used_rows * k) * dtype;
+      fold.output_bytes =
+          static_cast<std::uint64_t>(used_rows * used_cols) * dtype;
+      std::uint64_t cycles =
+          static_cast<std::uint64_t>((used_cols - 1) + k);
+      if (!cfg.overlap_fold_drain) {
+        cycles += static_cast<std::uint64_t>(used_rows);
+      }
+      last_rows = used_rows;
+      fold.start_cycle = cursor;
+      fold.end_cycle = cursor + cycles;
+      cursor = fold.end_cycle;
+      trace.folds.push_back(fold);
+    }
+  }
+  if (cfg.overlap_fold_drain) {
+    cursor += static_cast<std::uint64_t>(last_rows);
+  }
+  trace.total_cycles = cursor;
+  return trace;
+}
+
+void write_fold_trace_csv(const FoldTrace& trace, const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.write_header({"fold", "start_cycle", "end_cycle", "rows", "cols",
+                    "depth", "input_bytes", "weight_bytes",
+                    "output_bytes"});
+  for (std::size_t i = 0; i < trace.folds.size(); ++i) {
+    const FoldRecord& fold = trace.folds[i];
+    csv.write_row({std::to_string(i), std::to_string(fold.start_cycle),
+                   std::to_string(fold.end_cycle),
+                   std::to_string(fold.used_rows),
+                   std::to_string(fold.used_cols),
+                   std::to_string(fold.depth),
+                   std::to_string(fold.input_bytes),
+                   std::to_string(fold.weight_bytes),
+                   std::to_string(fold.output_bytes)});
+  }
+}
+
+}  // namespace fuse::systolic

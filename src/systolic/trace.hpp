@@ -1,0 +1,56 @@
+// Fold-level execution trace (SCALE-Sim's signature output, at tile
+// granularity): one record per array pass with its geometry, cycle
+// interval, and per-operand SRAM footprint. Also derives the double-buffer
+// SRAM capacity needed to keep the array compute-bound (the next fold's
+// operands must be staged while the current fold runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "systolic/config.hpp"
+#include "systolic/memory.hpp"
+
+namespace fuse::systolic {
+
+/// One array pass.
+struct FoldRecord {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;  // exclusive
+  std::int64_t used_rows = 0;
+  std::int64_t used_cols = 0;
+  std::int64_t depth = 0;  // MACs per PE in this fold
+
+  /// SRAM bytes the fold's operands occupy while it runs.
+  std::uint64_t input_bytes = 0;
+  std::uint64_t weight_bytes = 0;
+  std::uint64_t output_bytes = 0;
+};
+
+/// Trace of one operator.
+struct FoldTrace {
+  std::vector<FoldRecord> folds;
+  std::uint64_t total_cycles = 0;
+
+  /// Peak per-fold SRAM footprint; with double buffering the required
+  /// capacity is twice this (current + staged fold).
+  std::uint64_t peak_fold_bytes() const;
+  std::uint64_t double_buffer_bytes() const { return 2 * peak_fold_bytes(); }
+};
+
+/// Trace of an output-stationary matmul [M, T] x [T, N] (the same fold
+/// walk as matmul_latency_os; cycle totals match it exactly).
+FoldTrace matmul_trace(std::int64_t m, std::int64_t t, std::int64_t n,
+                       const ArrayConfig& cfg, const MemoryConfig& mem);
+
+/// Trace of a FuSe 1-D stage on the broadcast dataflow (matches
+/// fuse1d_latency).
+FoldTrace fuse1d_trace(std::int64_t lines, std::int64_t line_out,
+                       std::int64_t k, const ArrayConfig& cfg,
+                       const MemoryConfig& mem);
+
+/// Writes one CSV row per fold.
+void write_fold_trace_csv(const FoldTrace& trace, const std::string& path);
+
+}  // namespace fuse::systolic

@@ -1,0 +1,94 @@
+#include "tensor/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace fuse::tensor {
+
+half_bits float_to_half(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000U;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xFFU) - 127 + 15;
+  std::uint32_t mantissa = f & 0x7FFFFFU;
+
+  if (((f >> 23) & 0xFFU) == 0xFFU) {
+    // Inf / NaN: preserve NaN-ness with a non-zero mantissa.
+    return static_cast<half_bits>(sign | 0x7C00U |
+                                  (mantissa != 0 ? 0x200U : 0U));
+  }
+  if (exponent >= 0x1F) {
+    // Overflow -> infinity.
+    return static_cast<half_bits>(sign | 0x7C00U);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) {
+      // Too small even for a denormal -> signed zero.
+      return static_cast<half_bits>(sign);
+    }
+    // Denormal: shift in the implicit leading 1, then round to nearest even.
+    mantissa |= 0x800000U;
+    const int shift = 14 - exponent;  // 14..24
+    const std::uint32_t rounded = mantissa >> shift;
+    const std::uint32_t remainder = mantissa & ((1U << shift) - 1U);
+    const std::uint32_t halfway = 1U << (shift - 1);
+    std::uint32_t result = rounded;
+    if (remainder > halfway || (remainder == halfway && (rounded & 1U))) {
+      ++result;  // may carry into the exponent; that is a correct promotion
+    }
+    return static_cast<half_bits>(sign | result);
+  }
+
+  // Normal: round 23-bit mantissa to 10 bits, nearest even.
+  std::uint32_t result =
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+  const std::uint32_t remainder = mantissa & 0x1FFFU;
+  if (remainder > 0x1000U || (remainder == 0x1000U && (result & 1U))) {
+    ++result;  // mantissa carry correctly bumps the exponent
+  }
+  return static_cast<half_bits>(result);
+}
+
+float half_to_float(half_bits bits) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000U)
+                             << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1FU;
+  std::uint32_t mantissa = bits & 0x3FFU;
+
+  std::uint32_t f = 0;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Denormal: normalize.
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x400U) == 0);
+      mantissa &= 0x3FFU;
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          (mantissa << 13);
+    }
+  } else if (exponent == 0x1F) {
+    f = sign | 0x7F800000U | (mantissa << 13);  // inf / NaN
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+void quantize_half_inplace(Tensor& t) {
+  float* data = t.data();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    data[i] = quantize_half(data[i]);
+  }
+}
+
+Tensor quantize_half(const Tensor& t) {
+  Tensor out = t;
+  quantize_half_inplace(out);
+  return out;
+}
+
+}  // namespace fuse::tensor

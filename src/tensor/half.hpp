@@ -1,0 +1,35 @@
+// IEEE-754 binary16 emulation.
+//
+// The paper trains and infers in FP16. This module provides float <-> half
+// conversion (round-to-nearest-even, with denormal and inf/NaN handling) and
+// tensor-level quantization so inference paths can be exercised at FP16
+// precision on a CPU without native half support.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace fuse::tensor {
+
+/// Bit-level storage for one binary16 value.
+using half_bits = std::uint16_t;
+
+/// Converts float32 -> binary16 bits with round-to-nearest-even.
+half_bits float_to_half(float value);
+
+/// Converts binary16 bits -> float32 exactly.
+float half_to_float(half_bits bits);
+
+/// Rounds a single float through binary16 precision.
+inline float quantize_half(float value) {
+  return half_to_float(float_to_half(value));
+}
+
+/// Rounds every element of `t` through binary16 (in place).
+void quantize_half_inplace(Tensor& t);
+
+/// Copy of `t` with every element rounded through binary16.
+Tensor quantize_half(const Tensor& t);
+
+}  // namespace fuse::tensor

@@ -1,0 +1,70 @@
+#include "tensor/im2col.hpp"
+
+#include "util/check.hpp"
+
+namespace fuse::tensor {
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad,
+                          std::int64_t dilation) {
+  FUSE_CHECK(in > 0 && kernel > 0 && stride > 0 && pad >= 0 && dilation > 0)
+      << "conv_out_dim(in=" << in << ", k=" << kernel << ", s=" << stride
+      << ", p=" << pad << ", d=" << dilation << ")";
+  const std::int64_t effective = dilation * (kernel - 1) + 1;
+  const std::int64_t span = in + 2 * pad - effective;
+  FUSE_CHECK(span >= 0) << "kernel larger than padded input: in=" << in
+                        << " k=" << kernel << " pad=" << pad
+                        << " dilation=" << dilation;
+  return span / stride + 1;
+}
+
+Tensor im2col(const Tensor& input, std::int64_t kernel_h,
+              std::int64_t kernel_w, std::int64_t stride_h,
+              std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w,
+              std::int64_t dilation_h, std::int64_t dilation_w) {
+  FUSE_CHECK(input.shape().rank() == 3)
+      << "im2col expects [C, H, W], got " << input.shape().to_string();
+  const std::int64_t channels = input.shape().dim(0);
+  const std::int64_t in_h = input.shape().dim(1);
+  const std::int64_t in_w = input.shape().dim(2);
+  const std::int64_t out_h =
+      conv_out_dim(in_h, kernel_h, stride_h, pad_h, dilation_h);
+  const std::int64_t out_w =
+      conv_out_dim(in_w, kernel_w, stride_w, pad_w, dilation_w);
+
+  Tensor patches(Shape{out_h * out_w, kernel_h * kernel_w * channels});
+  for (std::int64_t oy = 0; oy < out_h; ++oy) {
+    for (std::int64_t ox = 0; ox < out_w; ++ox) {
+      const std::int64_t row = oy * out_w + ox;
+      std::int64_t column = 0;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        for (std::int64_t ky = 0; ky < kernel_h; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel_w; ++kx) {
+            const std::int64_t iy = oy * stride_h - pad_h + ky * dilation_h;
+            const std::int64_t ix = ox * stride_w - pad_w + kx * dilation_w;
+            const bool inside =
+                iy >= 0 && iy < in_h && ix >= 0 && ix < in_w;
+            patches.at(row, column) = inside ? input.at(c, iy, ix) : 0.0F;
+            ++column;
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+Tensor im2col_plane(const Tensor& plane, std::int64_t kernel_h,
+                    std::int64_t kernel_w, std::int64_t stride_h,
+                    std::int64_t stride_w, std::int64_t pad_h,
+                    std::int64_t pad_w, std::int64_t dilation_h,
+                    std::int64_t dilation_w) {
+  FUSE_CHECK(plane.shape().rank() == 2)
+      << "im2col_plane expects [H, W], got " << plane.shape().to_string();
+  const Tensor as_3d =
+      plane.reshaped(Shape{1, plane.shape().dim(0), plane.shape().dim(1)});
+  return im2col(as_3d, kernel_h, kernel_w, stride_h, stride_w, pad_h, pad_w,
+                dilation_h, dilation_w);
+}
+
+}  // namespace fuse::tensor

@@ -1,0 +1,41 @@
+// im2col transformation (Chellapilla et al.; used by Caffe).
+//
+// Lowers convolution to matrix multiplication by materializing each
+// receptive field as a row. This is both a building block for the reference
+// conv implementation and the object of study in the paper's Section III:
+// for depthwise convolution the lowered matmul has a single output column,
+// which is why it wastes a 2-D systolic array.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace fuse::tensor {
+
+/// Output extent of a convolution along one axis.
+/// out = floor((in + 2*pad - dilation*(k-1) - 1) / stride) + 1
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad,
+                          std::int64_t dilation = 1);
+
+/// Lowers a [C, H, W] input to a patch matrix of shape
+/// [out_h*out_w, kernel_h*kernel_w*C]. Out-of-bounds (padding) taps read 0.
+/// Row r corresponds to output position (r / out_w, r % out_w); within a
+/// row, taps are ordered channel-major then kernel-row then kernel-col,
+/// matching a flattened [C, Kh, Kw] filter.
+Tensor im2col(const Tensor& input, std::int64_t kernel_h,
+              std::int64_t kernel_w, std::int64_t stride_h,
+              std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w,
+              std::int64_t dilation_h = 1, std::int64_t dilation_w = 1);
+
+/// Single-channel variant: lowers a [H, W] plane to
+/// [out_h*out_w, kernel_h*kernel_w]. This is the per-channel lowering a
+/// depthwise convolution is forced into (paper Fig. 2(c)).
+Tensor im2col_plane(const Tensor& plane, std::int64_t kernel_h,
+                    std::int64_t kernel_w, std::int64_t stride_h,
+                    std::int64_t stride_w, std::int64_t pad_h,
+                    std::int64_t pad_w, std::int64_t dilation_h = 1,
+                    std::int64_t dilation_w = 1);
+
+}  // namespace fuse::tensor

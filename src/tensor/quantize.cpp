@@ -1,0 +1,67 @@
+#include "tensor/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fuse::tensor {
+
+std::int8_t QuantParams::quantize(float x) const {
+  const float q = std::round(x / scale) + static_cast<float>(zero_point);
+  return static_cast<std::int8_t>(
+      std::clamp(q, -128.0F, 127.0F));
+}
+
+QuantParams choose_quant_params(const Tensor& t, bool symmetric) {
+  FUSE_CHECK(t.num_elements() > 0) << "cannot calibrate an empty tensor";
+  float lo = t[0];
+  float hi = t[0];
+  for (std::int64_t i = 1; i < t.num_elements(); ++i) {
+    lo = std::min(lo, t[i]);
+    hi = std::max(hi, t[i]);
+  }
+  // The representable range must include 0 so padding quantizes exactly.
+  lo = std::min(lo, 0.0F);
+  hi = std::max(hi, 0.0F);
+
+  QuantParams params;
+  if (symmetric) {
+    const float bound = std::max(std::fabs(lo), std::fabs(hi));
+    params.scale = bound > 0.0F ? bound / 127.0F : 1.0F;
+    params.zero_point = 0;
+    return params;
+  }
+  const float range = hi - lo;
+  params.scale = range > 0.0F ? range / 255.0F : 1.0F;
+  const float zp = -128.0F - lo / params.scale;
+  params.zero_point = static_cast<std::int32_t>(
+      std::clamp(std::round(zp), -128.0F, 127.0F));
+  return params;
+}
+
+QuantizedTensor quantize(const Tensor& t, const QuantParams& params) {
+  FUSE_CHECK(params.scale > 0.0F) << "quantization scale must be positive";
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.params = params;
+  q.data.resize(static_cast<std::size_t>(t.num_elements()));
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    q.data[static_cast<std::size_t>(i)] = params.quantize(t[i]);
+  }
+  return q;
+}
+
+QuantizedTensor quantize_calibrated(const Tensor& t, bool symmetric) {
+  return quantize(t, choose_quant_params(t, symmetric));
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor t(q.shape);
+  for (std::int64_t i = 0; i < q.num_elements(); ++i) {
+    t[i] = q.params.dequantize(q.at_flat(i));
+  }
+  return t;
+}
+
+}  // namespace fuse::tensor

@@ -1,0 +1,60 @@
+// Affine INT8 quantization.
+//
+// The paper evaluates in FP16, but the systolic arrays it targets (TPUv1
+// class) natively compute in INT8 with INT32 accumulation. This module
+// provides post-training affine quantization — q = clamp(round(x / scale)
+// + zero_point) — with min/max calibration, so the INT8 inference path of
+// nn/quantized.hpp can demonstrate that FuSeConv survives 8-bit deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fuse::tensor {
+
+/// Affine quantization parameters for one tensor.
+struct QuantParams {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;  // in [-128, 127]
+
+  /// Quantizes one value.
+  std::int8_t quantize(float x) const;
+
+  /// Dequantizes one value.
+  float dequantize(std::int8_t q) const {
+    return scale * static_cast<float>(static_cast<std::int32_t>(q) -
+                                      zero_point);
+  }
+};
+
+/// Min/max calibration. `symmetric` forces zero_point = 0 (the usual
+/// choice for weights, so the INT8 matmul has no zero-point cross terms).
+QuantParams choose_quant_params(const Tensor& t, bool symmetric = false);
+
+/// An INT8 tensor with its quantization parameters.
+struct QuantizedTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  QuantParams params;
+
+  std::int64_t num_elements() const {
+    return static_cast<std::int64_t>(data.size());
+  }
+  std::int8_t at_flat(std::int64_t i) const {
+    return data[static_cast<std::size_t>(i)];
+  }
+};
+
+/// Quantizes with the given parameters.
+QuantizedTensor quantize(const Tensor& t, const QuantParams& params);
+
+/// Calibrate-and-quantize convenience.
+QuantizedTensor quantize_calibrated(const Tensor& t,
+                                    bool symmetric = false);
+
+/// Back to float32.
+Tensor dequantize(const QuantizedTensor& q);
+
+}  // namespace fuse::tensor

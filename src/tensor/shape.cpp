@@ -1,0 +1,61 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fuse::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (std::int64_t d : dims_) {
+    FUSE_CHECK(d >= 0) << "negative extent in shape " << to_string();
+  }
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (std::int64_t d : dims_) {
+    FUSE_CHECK(d >= 0) << "negative extent in shape " << to_string();
+  }
+}
+
+std::int64_t Shape::dim(int axis) const {
+  if (axis < 0) {
+    axis += rank();
+  }
+  FUSE_CHECK(axis >= 0 && axis < rank())
+      << "axis " << axis << " out of range for shape " << to_string();
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::num_elements() const {
+  std::int64_t count = 1;
+  for (std::int64_t d : dims_) {
+    count *= d;
+  }
+  return count;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> result(dims_.size(), 1);
+  for (int axis = rank() - 2; axis >= 0; --axis) {
+    result[static_cast<std::size_t>(axis)] =
+        result[static_cast<std::size_t>(axis) + 1] *
+        dims_[static_cast<std::size_t>(axis) + 1];
+  }
+  return result;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) {
+      out << ", ";
+    }
+    out << dims_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace fuse::tensor

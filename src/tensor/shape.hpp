@@ -1,0 +1,45 @@
+// Tensor shape: an ordered list of extents with row-major strides.
+//
+// The library works in NCHW for activations and [C_out, C_in/groups, Kh, Kw]
+// for convolution weights; Shape itself is rank-agnostic (rank 1..4 used).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fuse::tensor {
+
+/// Immutable-by-convention shape. Extents are signed 64-bit to make
+/// arithmetic on derived sizes (padding, strides) safe.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `axis` (0-based; negative axes index from the end).
+  std::int64_t dim(int axis) const;
+
+  /// Total number of elements (product of extents; 1 for rank 0).
+  std::int64_t num_elements() const;
+
+  /// Row-major strides, in elements.
+  std::vector<std::int64_t> strides() const;
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[1, 32, 112, 112]"
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace fuse::tensor

@@ -1,0 +1,137 @@
+#include "train/dataset.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fuse::train {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string synthetic_task_name(SyntheticTask task) {
+  switch (task) {
+    case SyntheticTask::kOrientedTextures:
+      return "textures";
+    case SyntheticTask::kBlobScale:
+      return "blobs";
+  }
+  return "?";
+}
+
+Example make_blob_example(const DatasetConfig& config, std::int64_t label,
+                          util::Rng& rng) {
+  FUSE_CHECK(label >= 0 && label < config.num_classes)
+      << "label out of range";
+  // Class k has Gaussian blobs of radius r_k; positions are random, so
+  // only the scale carries the label.
+  const double radius =
+      1.0 + 0.8 * static_cast<double>(label);
+  const std::int64_t blobs = 3;
+
+  Example ex;
+  ex.label = label;
+  ex.image = tensor::Tensor(
+      Shape{config.channels, config.height, config.width});
+  for (std::int64_t b = 0; b < blobs; ++b) {
+    const double cy = rng.uniform(radius, config.height - radius);
+    const double cx = rng.uniform(radius, config.width - radius);
+    const double amplitude = rng.uniform(0.8, 1.2);
+    for (std::int64_t c = 0; c < config.channels; ++c) {
+      const double gain = 0.7 + 0.3 * static_cast<double>(c % 2);
+      for (std::int64_t y = 0; y < config.height; ++y) {
+        for (std::int64_t x = 0; x < config.width; ++x) {
+          const double dy = static_cast<double>(y) - cy;
+          const double dx = static_cast<double>(x) - cx;
+          ex.image.at(c, y, x) += static_cast<float>(
+              gain * amplitude *
+              std::exp(-(dx * dx + dy * dy) / (2.0 * radius * radius)));
+        }
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < ex.image.num_elements(); ++i) {
+    ex.image[i] +=
+        static_cast<float>(rng.normal(0.0, config.noise_stddev));
+  }
+  return ex;
+}
+
+Example make_texture_example(const DatasetConfig& config, std::int64_t label,
+                             util::Rng& rng) {
+  FUSE_CHECK(label >= 0 && label < config.num_classes)
+      << "label out of range";
+  if (config.task == SyntheticTask::kBlobScale) {
+    return make_blob_example(config, label, rng);
+  }
+  constexpr double kPi = 3.14159265358979323846;
+
+  const double theta =
+      static_cast<double>(label) * kPi /
+          static_cast<double>(config.num_classes) +
+      rng.normal(0.0, 0.03);  // small orientation jitter within the class
+  const double frequency = rng.uniform(0.55, 0.95);  // radians per pixel
+  const double phase = rng.uniform(0.0, 2.0 * kPi);
+  const double dx = std::cos(theta) * frequency;
+  const double dy = std::sin(theta) * frequency;
+
+  Example ex;
+  ex.label = label;
+  ex.image = Tensor(Shape{config.channels, config.height, config.width});
+  for (std::int64_t c = 0; c < config.channels; ++c) {
+    // Each channel gets its own phase offset and gain so channels carry
+    // correlated but not identical information.
+    const double channel_phase = phase + static_cast<double>(c) * 0.7;
+    const double gain = 0.8 + 0.2 * static_cast<double>(c % 2);
+    for (std::int64_t y = 0; y < config.height; ++y) {
+      for (std::int64_t x = 0; x < config.width; ++x) {
+        const double value =
+            gain * std::sin(dx * static_cast<double>(x) +
+                            dy * static_cast<double>(y) + channel_phase) +
+            rng.normal(0.0, config.noise_stddev);
+        ex.image.at(c, y, x) = static_cast<float>(value);
+      }
+    }
+  }
+  return ex;
+}
+
+TextureDataset::TextureDataset(DatasetConfig config, std::int64_t size,
+                               std::uint64_t seed)
+    : config_(config) {
+  FUSE_CHECK(size > 0) << "dataset size must be positive";
+  util::Rng rng(seed);
+  examples_.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    const std::int64_t label = i % config_.num_classes;  // balanced classes
+    examples_.push_back(make_texture_example(config_, label, rng));
+  }
+}
+
+const Example& TextureDataset::example(std::int64_t index) const {
+  FUSE_CHECK(index >= 0 && index < size()) << "example index out of range";
+  return examples_[static_cast<std::size_t>(index)];
+}
+
+void TextureDataset::batch(std::int64_t first, std::int64_t count,
+                           Tensor* images,
+                           std::vector<std::int64_t>* labels) const {
+  FUSE_CHECK(images != nullptr && labels != nullptr) << "null outputs";
+  FUSE_CHECK(first >= 0 && count > 0 && first + count <= size())
+      << "batch [" << first << ", " << first + count
+      << ") out of range for dataset of " << size();
+  *images = Tensor(Shape{count, config_.channels, config_.height,
+                         config_.width});
+  labels->resize(static_cast<std::size_t>(count));
+  const std::int64_t per_image =
+      config_.channels * config_.height * config_.width;
+  for (std::int64_t n = 0; n < count; ++n) {
+    const Example& ex = example(first + n);
+    for (std::int64_t i = 0; i < per_image; ++i) {
+      (*images)[n * per_image + i] = ex.image[i];
+    }
+    (*labels)[static_cast<std::size_t>(n)] = ex.label;
+  }
+}
+
+}  // namespace fuse::train

@@ -1,0 +1,81 @@
+// Synthetic oriented-texture dataset.
+//
+// Substitutes for ImageNet in the accuracy study (see DESIGN.md). Each
+// class k is a sinusoidal grating at orientation theta_k = k*pi/classes,
+// with randomized phase, spatial frequency, amplitude, and additive noise.
+// Orientation discrimination needs joint horizontal+vertical spatial
+// filtering, which is precisely the capability depthwise KxK kernels have
+// and FuSeConv must recover through its separated 1-D branches — so the
+// task is sensitive to the operator substitution the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fuse::train {
+
+/// Two synthetic tasks with different inductive demands:
+///   kOrientedTextures — classes are grating orientations; discriminating
+///     them requires JOINT horizontal+vertical filtering (the capability a
+///     KxK depthwise kernel has natively and FuSeConv must recover).
+///   kBlobScale — classes are Gaussian blob radii at random positions;
+///     discriminating them requires multi-scale spatial pooling, a second,
+///     structurally different probe of the operator substitution.
+enum class SyntheticTask {
+  kOrientedTextures,
+  kBlobScale,
+};
+
+/// "textures" / "blobs".
+std::string synthetic_task_name(SyntheticTask task);
+
+struct DatasetConfig {
+  SyntheticTask task = SyntheticTask::kOrientedTextures;
+  std::int64_t num_classes = 4;
+  std::int64_t channels = 3;
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+  double noise_stddev = 0.25;
+};
+
+struct Example {
+  tensor::Tensor image;  // [C, H, W]
+  std::int64_t label = 0;
+};
+
+/// Deterministic in-memory dataset.
+class TextureDataset {
+ public:
+  TextureDataset(DatasetConfig config, std::int64_t size,
+                 std::uint64_t seed);
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(examples_.size());
+  }
+  const Example& example(std::int64_t index) const;
+  const DatasetConfig& config() const { return config_; }
+
+  /// Stacks examples [first, first+count) into a batch tensor [N, C, H, W]
+  /// plus labels.
+  void batch(std::int64_t first, std::int64_t count, tensor::Tensor* images,
+             std::vector<std::int64_t>* labels) const;
+
+ private:
+  DatasetConfig config_;
+  std::vector<Example> examples_;
+};
+
+/// Generates one example of the configured task (exposed for tests).
+Example make_texture_example(const DatasetConfig& config,
+                             std::int64_t label, util::Rng& rng);
+
+/// The blob-scale generator (called by make_texture_example when the task
+/// is kBlobScale; exposed for tests).
+Example make_blob_example(const DatasetConfig& config, std::int64_t label,
+                          util::Rng& rng);
+
+}  // namespace fuse::train

@@ -1,0 +1,60 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fuse::train {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  FUSE_CHECK(logits.shape().rank() == 2)
+      << "logits must be [N, classes], got " << logits.shape().to_string();
+  const std::int64_t batch = logits.shape().dim(0);
+  const std::int64_t classes = logits.shape().dim(1);
+  FUSE_CHECK(static_cast<std::int64_t>(labels.size()) == batch)
+      << "label count " << labels.size() << " != batch " << batch;
+
+  LossResult result;
+  result.grad_logits = tensor::Tensor(logits.shape());
+  double total_loss = 0.0;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int64_t label = labels[static_cast<std::size_t>(n)];
+    FUSE_CHECK(label >= 0 && label < classes)
+        << "label " << label << " out of range for " << classes
+        << " classes";
+
+    // Stable softmax.
+    float max_logit = logits.at(n, 0);
+    std::int64_t argmax = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (logits.at(n, c) > max_logit) {
+        max_logit = logits.at(n, c);
+        argmax = c;
+      }
+    }
+    if (argmax == label) {
+      ++result.correct;
+    }
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(logits.at(n, c) - max_logit));
+    }
+    const double log_denom = std::log(denom);
+    total_loss -=
+        static_cast<double>(logits.at(n, label) - max_logit) - log_denom;
+
+    const float inv_batch = 1.0F / static_cast<float>(batch);
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(n, c) - max_logit)) / denom;
+      result.grad_logits.at(n, c) =
+          (static_cast<float>(p) - (c == label ? 1.0F : 0.0F)) * inv_batch;
+    }
+  }
+  result.loss = total_loss / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace fuse::train

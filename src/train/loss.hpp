@@ -1,0 +1,22 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fuse::train {
+
+/// Loss value and the gradient with respect to the logits.
+struct LossResult {
+  double loss = 0.0;              // mean over the batch
+  tensor::Tensor grad_logits;     // [N, classes]
+  std::int64_t correct = 0;       // argmax == label count
+};
+
+/// logits [N, classes], labels[n] in [0, classes).
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace fuse::train

@@ -1,0 +1,72 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fuse::train {
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  FUSE_CHECK(lr > 0.0) << "learning rate must be positive";
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    tensor::Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.num_elements(); ++j) {
+      const float g =
+          p.grad[j] + static_cast<float>(weight_decay_) * p.value[j];
+      v[j] = static_cast<float>(momentum_) * v[j] + g;
+      p.value[j] -= static_cast<float>(lr_) * v[j];
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Parameter*> params, double lr, double alpha,
+                 double momentum, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      alpha_(alpha),
+      momentum_(momentum),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  FUSE_CHECK(lr > 0.0 && alpha > 0.0 && alpha < 1.0 && eps > 0.0)
+      << "bad RMSprop hyperparameters";
+  square_avg_.reserve(params_.size());
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    square_avg_.emplace_back(p->value.shape());
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void RmsProp::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    tensor::Tensor& sq = square_avg_[i];
+    tensor::Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.num_elements(); ++j) {
+      const float g =
+          p.grad[j] + static_cast<float>(weight_decay_) * p.value[j];
+      sq[j] = static_cast<float>(alpha_) * sq[j] +
+              (1.0F - static_cast<float>(alpha_)) * g * g;
+      const float update =
+          g / (std::sqrt(sq[j]) + static_cast<float>(eps_));
+      v[j] = static_cast<float>(momentum_) * v[j] +
+             static_cast<float>(lr_) * update;
+      p.value[j] -= v[j];
+    }
+  }
+}
+
+}  // namespace fuse::train

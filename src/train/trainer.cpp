@@ -1,0 +1,144 @@
+#include "train/trainer.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "tensor/half.hpp"
+#include "train/loss.hpp"
+#include "util/check.hpp"
+
+namespace fuse::train {
+
+double evaluate(Module& model, const TextureDataset& data,
+                std::int64_t batch_size) {
+  std::int64_t correct = 0;
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t first = 0; first < data.size(); first += batch_size) {
+    const std::int64_t count = std::min(batch_size, data.size() - first);
+    data.batch(first, count, &images, &labels);
+    const tensor::Tensor logits = model.forward(images);
+    const LossResult result = softmax_cross_entropy(logits, labels);
+    correct += result.correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TrainResult train_model(Module& model, const TextureDataset& train_data,
+                        const TextureDataset& eval_data,
+                        const TrainConfig& config) {
+  FUSE_CHECK(config.epochs > 0 && config.batch_size > 0)
+      << "bad training config";
+
+  std::vector<Parameter*> params;
+  model.collect_params(params);
+  FUSE_CHECK(!params.empty()) << "model has no parameters";
+
+  std::unique_ptr<Optimizer> optimizer;
+  if (config.use_rmsprop) {
+    optimizer = std::make_unique<RmsProp>(params, config.lr, /*alpha=*/0.9,
+                                          /*momentum=*/0.9, /*eps=*/1e-3,
+                                          config.weight_decay);
+  } else {
+    optimizer = std::make_unique<Sgd>(params, config.lr, /*momentum=*/0.9,
+                                      config.weight_decay);
+  }
+
+  TrainResult result;
+  double lr = config.lr;
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+
+  // EMA shadow weights (paper §V-A2: exponential moving averages of all
+  // weights).
+  std::vector<tensor::Tensor> ema;
+  if (config.ema_decay > 0.0) {
+    FUSE_CHECK(config.ema_decay < 1.0)
+        << "EMA decay must be in (0, 1), got " << config.ema_decay;
+    ema.reserve(params.size());
+    for (const Parameter* p : params) {
+      ema.push_back(p->value);
+    }
+  }
+
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::int64_t epoch_correct = 0;
+    std::int64_t batches = 0;
+
+    for (std::int64_t first = 0; first < train_data.size();
+         first += config.batch_size) {
+      const std::int64_t count =
+          std::min(config.batch_size, train_data.size() - first);
+      train_data.batch(first, count, &images, &labels);
+      if (config.fp16) {
+        tensor::quantize_half_inplace(images);
+      }
+
+      optimizer->zero_grad();
+      const tensor::Tensor logits = model.forward(images);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      model.backward(loss.grad_logits);
+      optimizer->step();
+      if (config.fp16) {
+        for (Parameter* p : params) {
+          tensor::quantize_half_inplace(p->value);
+        }
+      }
+      if (!ema.empty()) {
+        const float decay = static_cast<float>(config.ema_decay);
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          tensor::Tensor& shadow = ema[i];
+          const tensor::Tensor& value = params[i]->value;
+          for (std::int64_t j = 0; j < shadow.num_elements(); ++j) {
+            shadow[j] = decay * shadow[j] + (1.0F - decay) * value[j];
+          }
+        }
+      }
+
+      epoch_loss += loss.loss;
+      epoch_correct += loss.correct;
+      ++batches;
+    }
+
+    lr *= config.lr_decay;
+    if (auto* rms = dynamic_cast<RmsProp*>(optimizer.get())) {
+      rms->set_lr(lr);
+    } else if (auto* sgd = dynamic_cast<Sgd*>(optimizer.get())) {
+      sgd->set_lr(lr);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = epoch_loss / static_cast<double>(batches);
+    stats.train_accuracy = static_cast<double>(epoch_correct) /
+                           static_cast<double>(train_data.size());
+    stats.eval_accuracy = evaluate(model, eval_data);
+    if (config.verbose) {
+      std::printf("epoch %2lld  loss %.4f  train %.3f  eval %.3f\n",
+                  static_cast<long long>(epoch), stats.train_loss,
+                  stats.train_accuracy, stats.eval_accuracy);
+    }
+    result.history.push_back(stats);
+  }
+  result.final_eval_accuracy = result.history.back().eval_accuracy;
+
+  if (!ema.empty()) {
+    // Evaluate with EMA weights swapped in, then restore.
+    std::vector<tensor::Tensor> saved;
+    saved.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      saved.push_back(params[i]->value);
+      params[i]->value = ema[i];
+    }
+    result.final_eval_accuracy_ema = evaluate(model, eval_data);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = saved[i];
+    }
+  } else {
+    result.final_eval_accuracy_ema = result.final_eval_accuracy;
+  }
+  return result;
+}
+
+}  // namespace fuse::train

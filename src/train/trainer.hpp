@@ -1,0 +1,59 @@
+// Training loop + evaluation.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "train/dataset.hpp"
+#include "train/module.hpp"
+#include "train/optimizer.hpp"
+
+namespace fuse::train {
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 16;
+  double lr = 0.01;
+  double lr_decay = 0.97;       // multiplicative per epoch (paper: 0.97
+                                // every 2.4 epochs; compressed here)
+  double weight_decay = 1e-5;   // paper: 1e-5
+  bool use_rmsprop = true;      // paper trains with RMSprop
+
+  /// Round parameters (after each step) and input batches through binary16
+  /// — the paper trains and infers in FP16.
+  bool fp16 = false;
+
+  /// Exponential moving average of all weights (paper: decay 0.9999 on
+  /// ImageNet; use a smaller decay for short synthetic runs). 0 disables.
+  /// The final evaluation additionally reports accuracy with the EMA
+  /// weights swapped in.
+  double ema_decay = 0.0;
+
+  bool verbose = false;
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double eval_accuracy = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_eval_accuracy = 0.0;
+
+  /// Accuracy with EMA weights (== final_eval_accuracy when EMA disabled).
+  double final_eval_accuracy_ema = 0.0;
+};
+
+/// Evaluation accuracy of `model` on `data`.
+double evaluate(Module& model, const TextureDataset& data,
+                std::int64_t batch_size = 32);
+
+/// Trains `model` on `train_data`, evaluating on `eval_data` each epoch.
+TrainResult train_model(Module& model, const TextureDataset& train_data,
+                        const TextureDataset& eval_data,
+                        const TrainConfig& config);
+
+}  // namespace fuse::train

@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace fuse::util {
+
+void raise_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream out;
+  out << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw Error(out.str());
+}
+
+}  // namespace fuse::util

@@ -1,0 +1,65 @@
+// Error-checking primitives used across the library.
+//
+// Invariant violations and invalid user input raise fuse::util::Error (an
+// std::runtime_error subclass) carrying the failing expression and location.
+// The macros are used for argument validation in public APIs; internal
+// assumptions additionally use FUSE_DCHECK which compiles out in NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fuse::util {
+
+/// Exception thrown on any precondition or invariant failure in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the exception message and throws. Out-of-line to keep macro
+/// expansion small at call sites.
+[[noreturn]] void raise_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+
+namespace detail {
+
+/// Accumulates an optional human-readable message via operator<<.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    raise_check_failure(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace fuse::util
+
+/// Validates `cond`; on failure throws fuse::util::Error. Supports streaming
+/// extra context: FUSE_CHECK(n > 0) << "n=" << n;
+#define FUSE_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::fuse::util::detail::CheckMessageBuilder(#cond, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define FUSE_DCHECK(cond) FUSE_CHECK(true)
+#else
+#define FUSE_DCHECK(cond) FUSE_CHECK(cond)
+#endif

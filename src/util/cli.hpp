@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for the example/bench executables.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fuse::util {
+
+/// Declarative flag set. Register flags with defaults, then parse().
+class CliFlags {
+ public:
+  /// Registers a flag with a default and help text.
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Throws fuse::util::Error on unknown flags or bad values.
+  /// Returns leftover positional arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Usage text listing all registered flags.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace fuse::util

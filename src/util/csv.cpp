@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace fuse::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  FUSE_CHECK(out_.good()) << "cannot open CSV output file: " << path;
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted.push_back(c);
+    }
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace fuse::util

@@ -1,0 +1,34 @@
+// Minimal CSV writer used by benchmark harnesses to dump the series behind
+// each reproduced table/figure.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fuse::util {
+
+/// Writes rows of string fields with RFC-4180-ish quoting. The file is
+/// created on construction and flushed on destruction.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: header row.
+  void write_header(const std::vector<std::string>& names) {
+    write_row(names);
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV field (exposed for tests).
+std::string csv_escape(const std::string& field);
+
+}  // namespace fuse::util

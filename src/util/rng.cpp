@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fuse::util {
+
+double Rng::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box–Muller on two fresh uniforms; u1 is nudged away from 0 so log() is
+  // finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_ = radius * std::sin(angle);
+  has_cached_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace fuse::util

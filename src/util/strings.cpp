@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fuse::util {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  FUSE_CHECK(needed >= 0) << "vsnprintf failed for format: " << fmt;
+  std::string result(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string fixed(double value, int precision) {
+  return format("%.*f", precision, value);
+}
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(text);
+  while (std::getline(in, field, delimiter)) {
+    fields.push_back(field);
+  }
+  if (!text.empty() && text.back() == delimiter) {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+std::string to_lower(std::string text) {
+  for (char& c : text) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  return text;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace fuse::util

@@ -1,0 +1,29 @@
+// Small string/format helpers (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fuse::util {
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1234567" -> "1,234,567" (used by report printers).
+std::string with_commas(std::uint64_t value);
+
+/// Fixed-point decimal with the given precision, e.g. fixed(3.14159, 2) ==
+/// "3.14".
+std::string fixed(double value, int precision);
+
+/// Splits on a delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Lowercases ASCII.
+std::string to_lower(std::string text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace fuse::util

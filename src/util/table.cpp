@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace fuse::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_separator = [&] {
+    out << '+';
+    for (std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+
+  print_separator();
+  print_cells(header_);
+  print_separator();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_separator();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_separator();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace fuse::util

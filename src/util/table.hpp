@@ -1,0 +1,38 @@
+// Console table printer: fixed-width columns sized to content, the style
+// used by every bench binary to mirror the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fuse::util {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at this position.
+  void add_separator();
+
+  /// Renders to the stream.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fuse::util

@@ -1,0 +1,111 @@
+// Golden regression values: exact deterministic outputs of the latency and
+// hardware models, pinned. These are intentionally brittle — any change to
+// the cycle model, fold walk, network tables, or calibration constants
+// trips them. If you change the model ON PURPOSE, re-run the bench
+// binaries, verify the new shape against EXPERIMENTS.md's criteria, and
+// update the constants here together with the docs.
+#include <gtest/gtest.h>
+
+#include "hw/area_power.hpp"
+#include "sched/latency.hpp"
+
+namespace fuse {
+namespace {
+
+using nets::NetworkId;
+
+systolic::ArrayConfig paper_array() { return systolic::square_array(64); }
+
+TEST(Golden, BaselineCyclesOn64x64) {
+  struct Expected {
+    NetworkId id;
+    std::uint64_t cycles;
+  };
+  const Expected expected[] = {
+      {NetworkId::kMobileNetV1, 2594775},
+      {NetworkId::kMobileNetV2, 3128106},
+      {NetworkId::kMnasNetB1, 2984050},
+      {NetworkId::kMobileNetV3Small, 738162},
+      {NetworkId::kMobileNetV3Large, 2109939},
+  };
+  for (const Expected& e : expected) {
+    const auto model = nets::build_network(e.id);
+    EXPECT_EQ(sched::network_latency(model, paper_array()).total_cycles,
+              e.cycles)
+        << nets::network_name(e.id);
+  }
+}
+
+TEST(Golden, ResNet50CyclesOn32x32) {
+  const auto cfg = systolic::square_array(32);
+  EXPECT_EQ(
+      sched::network_latency(nets::resnet50(), cfg).total_cycles,
+      5182630u);
+}
+
+TEST(Golden, MacAndParamTotals) {
+  const auto v1 = nets::build_network(NetworkId::kMobileNetV1);
+  EXPECT_EQ(v1.total_macs(), 568740352u);
+  EXPECT_EQ(v1.total_params(), 4231976u);
+  const auto v2 = nets::build_network(NetworkId::kMobileNetV2);
+  EXPECT_EQ(v2.total_macs(), 300774272u);
+  EXPECT_EQ(v2.total_params(), 3504872u);
+}
+
+TEST(Golden, FuseHalfSpeedupsOn64x64) {
+  struct Expected {
+    NetworkId id;
+    double speedup;
+  };
+  // Pinned to 2 decimals (ratios of pinned integer cycle counts).
+  const Expected expected[] = {
+      {NetworkId::kMobileNetV1, 7.90},
+      {NetworkId::kMobileNetV2, 8.96},
+      {NetworkId::kMnasNetB1, 9.30},
+      {NetworkId::kMobileNetV3Small, 6.01},
+      {NetworkId::kMobileNetV3Large, 6.85},
+  };
+  for (const Expected& e : expected) {
+    EXPECT_NEAR(sched::speedup_vs_baseline(
+                    e.id, core::NetworkVariant::kFuseHalf, paper_array()),
+                e.speedup, 0.005)
+        << nets::network_name(e.id);
+  }
+}
+
+TEST(Golden, BroadcastOverheadCalibration) {
+  const hw::OverheadReport report =
+      hw::broadcast_overhead(32, hw::nangate45_model());
+  EXPECT_NEAR(report.area_pct, 4.34, 0.01);
+  EXPECT_NEAR(report.power_pct, 2.25, 0.01);
+}
+
+TEST(Golden, FoldFormulaAnchors) {
+  // The documented per-fold cost on canonical shapes.
+  systolic::ArrayConfig cfg = paper_array();
+  cfg.overlap_fold_drain = false;
+  EXPECT_EQ(systolic::matmul_latency(64, 64, 64, cfg).cycles,
+            63u + 63 + 64 + 64);
+  EXPECT_EQ(systolic::fuse1d_latency(64, 64, 3, cfg).cycles,
+            63u + 3 + 64);
+}
+
+
+TEST(Golden, FuseHalfCyclesOn64x64) {
+  const auto half = nets::build_network(
+      NetworkId::kMobileNetV2,
+      core::uniform_modes(17, core::FuseMode::kHalf));
+  EXPECT_EQ(sched::network_latency(half, paper_array()).total_cycles,
+            349296u);
+}
+
+TEST(Golden, V2TrafficBytesAtDefaultMemory) {
+  const systolic::MemoryConfig mem;
+  const auto model = nets::build_network(NetworkId::kMobileNetV2);
+  const auto roofline =
+      sched::network_roofline(model, paper_array(), mem);
+  EXPECT_EQ(roofline.total_bytes, 80404048u);
+}
+
+}  // namespace
+}  // namespace fuse

@@ -1,0 +1,82 @@
+// Tests for the area/power model: calibration against the paper's
+// synthesis result and scaling behaviour.
+#include <gtest/gtest.h>
+
+#include "hw/area_power.hpp"
+#include "util/check.hpp"
+
+namespace fuse::hw {
+namespace {
+
+TEST(Overhead, MatchesPaperAt32x32) {
+  // Paper §V-B5: 4.35% area, 2.25% power for a 32x32 array in 45 nm.
+  const OverheadReport report = broadcast_overhead(32, nangate45_model());
+  EXPECT_NEAR(report.area_pct, 4.35, 0.30);
+  EXPECT_NEAR(report.power_pct, 2.25, 0.30);
+}
+
+TEST(Overhead, PositiveAtAllSizes) {
+  const PeComponentModel model = nangate45_model();
+  for (std::int64_t size : {8, 16, 32, 64, 128, 256}) {
+    const OverheadReport r = broadcast_overhead(size, model);
+    EXPECT_GT(r.area_pct, 0.0) << size;
+    EXPECT_GT(r.power_pct, 0.0) << size;
+    EXPECT_LT(r.area_pct, 10.0) << size;  // always a small fraction
+    EXPECT_LT(r.power_pct, 5.0) << size;
+  }
+}
+
+TEST(Overhead, PerRowDriverAmortizesWithWidth) {
+  // The row driver is shared by all PEs of a row, so the relative overhead
+  // decreases slightly as arrays grow.
+  const PeComponentModel model = nangate45_model();
+  const OverheadReport small = broadcast_overhead(8, model);
+  const OverheadReport large = broadcast_overhead(256, model);
+  EXPECT_GT(small.area_pct, large.area_pct);
+}
+
+TEST(ArrayHw, AreaScalesQuadratically) {
+  const PeComponentModel model = nangate45_model();
+  const ArrayHwReport a = array_hw(systolic::square_array(16), model);
+  const ArrayHwReport b = array_hw(systolic::square_array(32), model);
+  // 4x the PEs dominates; edges only double.
+  EXPECT_GT(b.area_mm2, 3.5 * a.area_mm2);
+  EXPECT_LT(b.area_mm2, 4.1 * a.area_mm2);
+}
+
+TEST(ArrayHw, BroadcastVariantIsStrictlyBigger) {
+  const PeComponentModel model = nangate45_model();
+  const ArrayHwReport with =
+      array_hw(systolic::square_array(32, true), model);
+  const ArrayHwReport without =
+      array_hw(systolic::square_array(32, false), model);
+  EXPECT_GT(with.area_mm2, without.area_mm2);
+  EXPECT_GT(with.power_mw, without.power_mw);
+}
+
+TEST(ArrayHw, NonSquareArraysSupported) {
+  const PeComponentModel model = nangate45_model();
+  systolic::ArrayConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 64;
+  const ArrayHwReport r = array_hw(cfg, model);
+  EXPECT_GT(r.area_mm2, 0.0);
+}
+
+TEST(ArrayHw, PlausibleAbsoluteNumbersFor32x32) {
+  // A 1024-PE FP16 array in 45 nm should land in the mm^2 / watt-ish
+  // region (TPU-class PEs are larger; this is an edge-scale array).
+  const ArrayHwReport r =
+      array_hw(systolic::square_array(32, false), nangate45_model());
+  EXPECT_GT(r.area_mm2, 0.5);
+  EXPECT_LT(r.area_mm2, 10.0);
+  EXPECT_GT(r.power_mw, 200.0);
+  EXPECT_LT(r.power_mw, 5000.0);
+}
+
+TEST(Overhead, InvalidSizeThrows) {
+  EXPECT_THROW(broadcast_overhead(0, nangate45_model()), util::Error);
+}
+
+}  // namespace
+}  // namespace fuse::hw

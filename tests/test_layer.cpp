@@ -1,0 +1,201 @@
+// Unit tests for the LayerDesc IR: factories, MAC/param counting, the
+// paper's operation-count formulas.
+#include <gtest/gtest.h>
+
+#include "nn/layer.hpp"
+#include "util/check.hpp"
+
+namespace fuse::nn {
+namespace {
+
+TEST(LayerFactory, ConvGeometry) {
+  const LayerDesc l = make_conv("stem", 3, 224, 224, 32, 3, 2, 1);
+  EXPECT_EQ(l.kind, OpKind::kStandardConv);
+  EXPECT_EQ(l.out_c, 32);
+  EXPECT_EQ(l.out_h, 112);
+  EXPECT_EQ(l.out_w, 112);
+  EXPECT_EQ(l.groups, 1);
+  EXPECT_TRUE(l.has_batchnorm);
+}
+
+TEST(LayerFactory, DepthwisePreservesChannels) {
+  const LayerDesc l = make_depthwise("dw", 32, 112, 112, 3, 1, 1);
+  EXPECT_EQ(l.kind, OpKind::kDepthwiseConv);
+  EXPECT_EQ(l.in_c, 32);
+  EXPECT_EQ(l.out_c, 32);
+  EXPECT_EQ(l.groups, 32);
+  EXPECT_EQ(l.out_h, 112);
+}
+
+TEST(LayerFactory, PointwiseIs1x1) {
+  const LayerDesc l = make_pointwise("pw", 32, 112, 112, 64);
+  EXPECT_EQ(l.kind, OpKind::kPointwiseConv);
+  EXPECT_EQ(l.kernel_h, 1);
+  EXPECT_EQ(l.kernel_w, 1);
+  EXPECT_EQ(l.out_h, 112);
+}
+
+TEST(LayerFactory, FuseRowGeometryMatchesDepthwise) {
+  // 1xK with full 2-D stride and horizontal-only padding must produce the
+  // same output size as the KxK depthwise it replaces, for 'same' padding.
+  for (std::int64_t stride : {1, 2}) {
+    for (std::int64_t k : {3, 5}) {
+      const std::int64_t pad = k / 2;
+      const LayerDesc dw = make_depthwise("dw", 16, 28, 28, k, stride, pad);
+      const LayerDesc row = make_fuse_row("row", 16, 28, 28, k, stride, pad);
+      const LayerDesc col = make_fuse_col("col", 16, 28, 28, k, stride, pad);
+      EXPECT_EQ(row.out_h, dw.out_h) << "k=" << k << " s=" << stride;
+      EXPECT_EQ(row.out_w, dw.out_w);
+      EXPECT_EQ(col.out_h, dw.out_h);
+      EXPECT_EQ(col.out_w, dw.out_w);
+      EXPECT_EQ(row.kernel_h, 1);
+      EXPECT_EQ(row.kernel_w, k);
+      EXPECT_EQ(col.kernel_h, k);
+      EXPECT_EQ(col.kernel_w, 1);
+    }
+  }
+}
+
+TEST(LayerFactory, FullyConnected) {
+  const LayerDesc l = make_fully_connected("fc", 1024, 1000);
+  EXPECT_EQ(l.kind, OpKind::kFullyConnected);
+  EXPECT_TRUE(l.has_bias);
+  EXPECT_EQ(l.in_c, 1024);
+  EXPECT_EQ(l.out_c, 1000);
+}
+
+TEST(LayerFactory, InvalidGeometryThrows) {
+  EXPECT_THROW(make_conv("x", 0, 10, 10, 4, 3, 1, 1), util::Error);
+  EXPECT_THROW(make_fully_connected("x", 0, 10), util::Error);
+}
+
+// --- MAC counting -----------------------------------------------------------
+
+TEST(LayerMacs, StandardConvFormula) {
+  // N*M*C'*K^2*C (paper §II-D).
+  const LayerDesc l = make_conv("c", 16, 28, 28, 32, 3, 1, 1);
+  EXPECT_EQ(l.macs(), 28ULL * 28 * 32 * 3 * 3 * 16);
+}
+
+TEST(LayerMacs, DepthwiseFormula) {
+  // N*M*C*K^2.
+  const LayerDesc l = make_depthwise("dw", 64, 14, 14, 3, 1, 1);
+  EXPECT_EQ(l.macs(), 14ULL * 14 * 64 * 9);
+}
+
+TEST(LayerMacs, PointwiseFormula) {
+  // N*M*C*C'.
+  const LayerDesc l = make_pointwise("pw", 64, 14, 14, 128);
+  EXPECT_EQ(l.macs(), 14ULL * 14 * 128 * 64);
+}
+
+TEST(LayerMacs, DepthwiseSeparableTotalMatchesPaperFormula) {
+  // Paper: depthwise separable has N*M*C*(K^2 + C') operations.
+  const std::int64_t c = 32, hw = 56, k = 3, c_out = 64;
+  const LayerDesc dw = make_depthwise("dw", c, hw, hw, k, 1, k / 2);
+  const LayerDesc pw = make_pointwise("pw", c, hw, hw, c_out);
+  EXPECT_EQ(dw.macs() + pw.macs(),
+            static_cast<std::uint64_t>(hw) * hw * c * (k * k + c_out));
+}
+
+TEST(LayerMacs, FuseStagePlusPointwiseMatchesPaperFormula) {
+  // Paper: FuSeConv has (2/D)*N*M*C*(K + C') operations. For D=2 each 1-D
+  // branch handles C/2 channels; the pointwise keeps C input channels.
+  const std::int64_t c = 32, hw = 56, k = 3, c_out = 64;
+  const LayerDesc row = make_fuse_row("r", c / 2, hw, hw, k, 1, k / 2);
+  const LayerDesc col = make_fuse_col("c", c / 2, hw, hw, k, 1, k / 2);
+  const LayerDesc pw = make_pointwise("pw", c, hw, hw, c_out);
+  EXPECT_EQ(row.macs() + col.macs() + pw.macs(),
+            static_cast<std::uint64_t>(hw) * hw * c * (k + c_out));
+}
+
+TEST(LayerMacs, FullVariantDoublesBothTerms) {
+  // D=1: branches on all C channels, pointwise sees 2C inputs:
+  // 2*N*M*C*(K + C').
+  const std::int64_t c = 32, hw = 56, k = 3, c_out = 64;
+  const LayerDesc row = make_fuse_row("r", c, hw, hw, k, 1, k / 2);
+  const LayerDesc col = make_fuse_col("c", c, hw, hw, k, 1, k / 2);
+  const LayerDesc pw = make_pointwise("pw", 2 * c, hw, hw, c_out);
+  EXPECT_EQ(row.macs() + col.macs() + pw.macs(),
+            2ULL * hw * hw * c * (k + c_out));
+}
+
+TEST(LayerMacs, FullyConnected) {
+  const LayerDesc l = make_fully_connected("fc", 1024, 1000);
+  EXPECT_EQ(l.macs(), 1024ULL * 1000);
+}
+
+TEST(LayerMacs, GlueOpsAreZero) {
+  LayerDesc pool;
+  pool.kind = OpKind::kGlobalAvgPool;
+  pool.out_c = 32;
+  pool.out_h = 1;
+  pool.out_w = 1;
+  EXPECT_EQ(pool.macs(), 0u);
+  EXPECT_EQ(pool.params(), 0u);
+}
+
+// --- param counting ---------------------------------------------------------
+
+TEST(LayerParams, ConvWeightsPlusBatchnorm) {
+  const LayerDesc l = make_conv("c", 16, 28, 28, 32, 3, 1, 1);
+  EXPECT_EQ(l.params(), 32ULL * 16 * 9 + 2 * 32);
+}
+
+TEST(LayerParams, DepthwisePaperFormula) {
+  // Depthwise stage of the separable layer: C*K^2 weights (+BN).
+  const LayerDesc l = make_depthwise("dw", 64, 14, 14, 3, 1, 1);
+  EXPECT_EQ(l.params(), 64ULL * 9 + 2 * 64);
+}
+
+TEST(LayerParams, FuseStagePaperFormula) {
+  // (2/D)*C*K weights for the 1-D stage (D=2 here: 2*(C/2)*K = C*K).
+  const LayerDesc row = make_fuse_row("r", 16, 14, 14, 3, 1, 1);
+  const LayerDesc col = make_fuse_col("c", 16, 14, 14, 3, 1, 1);
+  const std::uint64_t weights_only =
+      row.params() - 2 * 16 + col.params() - 2 * 16;
+  EXPECT_EQ(weights_only, 2ULL * 16 * 3);
+}
+
+TEST(LayerParams, FcBias) {
+  const LayerDesc l = make_fully_connected("fc", 100, 10);
+  EXPECT_EQ(l.params(), 100ULL * 10 + 10);
+}
+
+// --- misc -------------------------------------------------------------------
+
+TEST(LayerDescMisc, LatencyEligibility) {
+  EXPECT_TRUE(op_kind_counts_for_latency(OpKind::kStandardConv));
+  EXPECT_TRUE(op_kind_counts_for_latency(OpKind::kDepthwiseConv));
+  EXPECT_TRUE(op_kind_counts_for_latency(OpKind::kFuseRowConv));
+  EXPECT_TRUE(op_kind_counts_for_latency(OpKind::kFullyConnected));
+  EXPECT_FALSE(op_kind_counts_for_latency(OpKind::kAvgPool));
+  EXPECT_FALSE(op_kind_counts_for_latency(OpKind::kActivation));
+  EXPECT_FALSE(op_kind_counts_for_latency(OpKind::kElementwiseAdd));
+}
+
+TEST(LayerDescMisc, KindNamesAreUnique) {
+  EXPECT_EQ(op_kind_name(OpKind::kDepthwiseConv), "dw");
+  EXPECT_EQ(op_kind_name(OpKind::kFuseRowConv), "fuse-row");
+  EXPECT_NE(op_kind_name(OpKind::kStandardConv),
+            op_kind_name(OpKind::kPointwiseConv));
+}
+
+TEST(LayerDescMisc, ToStringMentionsGeometry) {
+  const LayerDesc l = make_conv("net/stem", 3, 224, 224, 32, 3, 2, 1);
+  const std::string s = l.to_string();
+  EXPECT_NE(s.find("net/stem"), std::string::npos);
+  EXPECT_NE(s.find("k=3x3"), std::string::npos);
+}
+
+TEST(LayerDescMisc, Totals) {
+  std::vector<LayerDesc> layers = {
+      make_pointwise("a", 8, 4, 4, 16),
+      make_fully_connected("b", 16, 10),
+  };
+  EXPECT_EQ(total_macs(layers), layers[0].macs() + layers[1].macs());
+  EXPECT_EQ(total_params(layers), layers[0].params() + layers[1].params());
+}
+
+}  // namespace
+}  // namespace fuse::nn

@@ -1,0 +1,192 @@
+// Tests for the Neural Operator Search module.
+#include <gtest/gtest.h>
+
+#include "nos/search.hpp"
+#include "util/check.hpp"
+
+namespace fuse::nos {
+namespace {
+
+using core::NetworkVariant;
+using nets::NetworkId;
+
+systolic::ArrayConfig paper_array() { return systolic::square_array(64); }
+
+TEST(SlotOptions, ThreeOptionsPerSlot) {
+  const auto options = slot_options(NetworkId::kMobileNetV1, paper_array());
+  ASSERT_EQ(options.size(), 13u);
+  for (const auto& slot : options) {
+    ASSERT_EQ(slot.size(), 3u);
+    EXPECT_EQ(slot[0].mode, FuseMode::kBaseline);
+    EXPECT_EQ(slot[1].mode, FuseMode::kFull);
+    EXPECT_EQ(slot[2].mode, FuseMode::kHalf);
+    for (const SlotOption& o : slot) {
+      EXPECT_GT(o.cycles, 0u);
+      EXPECT_GT(o.params, 0u);
+    }
+  }
+}
+
+TEST(SlotOptions, FuseOptionsAreFasterOnThePaperArray) {
+  const auto options = slot_options(NetworkId::kMobileNetV2, paper_array());
+  for (const auto& slot : options) {
+    EXPECT_LT(slot[1].cycles, slot[0].cycles);  // Full beats baseline
+    EXPECT_LT(slot[2].cycles, slot[0].cycles);  // Half beats baseline
+    EXPECT_LE(slot[2].params, slot[0].params);  // Half never adds params
+    EXPECT_GE(slot[1].params, slot[0].params);  // Full adds params
+  }
+}
+
+TEST(Search, GenerousBudgetPicksFastestOptionEverywhere) {
+  NosConfig config;
+  config.max_params_ratio = 10.0;  // effectively unconstrained
+  const NosResult result =
+      search_operators(NetworkId::kMobileNetV1, paper_array(), config);
+  // Unconstrained, the per-slot minimum-cycles option must be chosen.
+  for (std::size_t slot = 0; slot < result.modes.size(); ++slot) {
+    const auto& opts = result.options[slot];
+    std::uint64_t best = opts[0].cycles;
+    FuseMode best_mode = opts[0].mode;
+    for (const SlotOption& o : opts) {
+      if (o.cycles < best) {
+        best = o.cycles;
+        best_mode = o.mode;
+      }
+    }
+    EXPECT_EQ(result.modes[slot], best_mode) << "slot " << slot;
+  }
+  EXPECT_GT(result.speedup, 1.0);
+}
+
+TEST(Search, UnitBudgetForcesFeasibleMix) {
+  // Budget exactly the baseline's params: Half (fewer params) can buy
+  // room, baseline fills the rest; result must respect the budget.
+  NosConfig config;
+  config.max_params_ratio = 1.0;
+  const NosResult result =
+      search_operators(NetworkId::kMobileNetV2, paper_array(), config);
+  EXPECT_LE(result.params_ratio, 1.0 + 1e-3);
+  EXPECT_GT(result.speedup, 1.0);  // Half-only already beats baseline
+}
+
+TEST(Search, BudgetMonotonicity) {
+  // More parameter budget can never make the optimum slower.
+  const NetworkId id = NetworkId::kMobileNetV3Small;
+  std::uint64_t prev_cycles = std::numeric_limits<std::uint64_t>::max();
+  for (double ratio : {1.0, 1.05, 1.2, 1.6, 3.0}) {
+    NosConfig config;
+    config.max_params_ratio = ratio;
+    const NosResult result = search_operators(id, paper_array(), config);
+    EXPECT_LE(result.cycles, prev_cycles) << "ratio " << ratio;
+    prev_cycles = result.cycles;
+  }
+}
+
+TEST(Search, BeatsTheUniformVariantsUnderTheSameBudget) {
+  // The searched mix must be at least as fast as any uniform variant that
+  // fits the same budget — that's what "search" buys over Table I's rows.
+  const NetworkId id = NetworkId::kMnasNetB1;
+  const auto cfg = paper_array();
+  NosConfig config;
+  config.max_params_ratio = 1.02;
+  const NosResult result = search_operators(id, cfg, config);
+
+  const sched::VariantBuild half =
+      sched::build_variant(id, NetworkVariant::kFuseHalf, cfg);
+  const double base_params = static_cast<double>(
+      sched::build_variant(id, NetworkVariant::kBaseline, cfg)
+          .model.total_params());
+  // The Half variant fits a 1.02 budget (it has fewer params).
+  ASSERT_LE(static_cast<double>(half.model.total_params()),
+            1.02 * base_params);
+  EXPECT_LE(result.cycles,
+            sched::network_latency(half.model, cfg).total_cycles);
+}
+
+TEST(Search, ModesStringFormat) {
+  NosConfig config;
+  config.max_params_ratio = 10.0;
+  const NosResult result =
+      search_operators(NetworkId::kMobileNetV3Small, paper_array(), config);
+  EXPECT_EQ(result.modes_string().size(), result.modes.size());
+  for (char c : result.modes_string()) {
+    EXPECT_TRUE(c == 'B' || c == 'F' || c == 'H');
+  }
+}
+
+TEST(Search, ImpossibleBudgetThrows) {
+  NosConfig config;
+  config.max_params_ratio = 0.01;  // below even the shared parameters
+  EXPECT_THROW(
+      search_operators(NetworkId::kMobileNetV1, paper_array(), config),
+      util::Error);
+}
+
+TEST(Search, TightGranularityStaysFeasible) {
+  NosConfig config;
+  config.max_params_ratio = 1.05;
+  config.param_granularity = 128;
+  const NosResult result =
+      search_operators(NetworkId::kMobileNetV3Small, paper_array(), config);
+  EXPECT_LE(result.params_ratio, 1.06);
+}
+
+
+TEST(SearchCapacity, LooseBudgetPicksMaxParamsEverywhere) {
+  NosLatencyBudgetConfig config;
+  config.max_cycles_ratio = 1.0;  // baseline latency: everything fits
+  const NosResult result =
+      search_capacity(NetworkId::kMobileNetV3Small, paper_array(), config);
+  // Full has the most parameters per slot, so an unconstrained capacity
+  // search chooses it everywhere.
+  for (FuseMode mode : result.modes) {
+    EXPECT_EQ(mode, FuseMode::kFull);
+  }
+  EXPECT_GT(result.params_ratio, 1.0);
+}
+
+TEST(SearchCapacity, TightBudgetFallsBackTowardHalf) {
+  // A budget just above the all-Half latency leaves little room for Full.
+  const NetworkId id = NetworkId::kMobileNetV2;
+  const auto cfg = paper_array();
+  const double half_ratio =
+      1.0 / sched::speedup_vs_baseline(id, NetworkVariant::kFuseHalf, cfg);
+  NosLatencyBudgetConfig config;
+  config.max_cycles_ratio = half_ratio * 1.02;
+  const NosResult result = search_capacity(id, cfg, config);
+  int half_count = 0;
+  for (FuseMode mode : result.modes) {
+    if (mode == FuseMode::kHalf) {
+      ++half_count;
+    }
+  }
+  EXPECT_GT(half_count, static_cast<int>(result.modes.size()) / 2);
+  EXPECT_LE(static_cast<double>(result.cycles),
+            config.max_cycles_ratio * 1.05 *
+                static_cast<double>(sched::network_latency(
+                                        nets::build_network(id), cfg)
+                                        .total_cycles));
+}
+
+TEST(SearchCapacity, ParamsMonotoneInLatencyBudget) {
+  const NetworkId id = NetworkId::kMnasNetB1;
+  std::uint64_t prev_params = 0;
+  for (double ratio : {0.15, 0.2, 0.35, 0.6, 1.0}) {
+    NosLatencyBudgetConfig config;
+    config.max_cycles_ratio = ratio;
+    const NosResult result = search_capacity(id, paper_array(), config);
+    EXPECT_GE(result.params, prev_params) << "ratio " << ratio;
+    prev_params = result.params;
+  }
+}
+
+TEST(SearchCapacity, InfeasibleBudgetThrows) {
+  NosLatencyBudgetConfig config;
+  config.max_cycles_ratio = 0.001;  // below the mode-independent cycles
+  EXPECT_THROW(
+      search_capacity(NetworkId::kMobileNetV1, paper_array(), config),
+      util::Error);
+}
+
+}  // namespace
+}  // namespace fuse::nos

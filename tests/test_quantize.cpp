@@ -1,0 +1,227 @@
+// Tests for the INT8 quantization extension: affine quantization math,
+// INT8 kernels vs their float references, and the quantized FuSeConv
+// forward pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fuseconv.hpp"
+#include "nn/quantized.hpp"
+#include "tensor/quantize.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fuse::tensor {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = -1.0F,
+                     float hi = 1.0F) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, lo, hi);
+  return t;
+}
+
+TEST(QuantParams, RoundTripErrorBoundedByHalfScale) {
+  const Tensor t = random_tensor(Shape{1000}, 1, -3.0F, 5.0F);
+  const QuantParams params = choose_quant_params(t);
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+    const float back = params.dequantize(params.quantize(t[i]));
+    EXPECT_LE(std::fabs(back - t[i]), 0.5F * params.scale + 1e-6F) << t[i];
+  }
+}
+
+TEST(QuantParams, SymmetricHasZeroZeroPoint) {
+  const Tensor t = random_tensor(Shape{100}, 2, -0.4F, 0.9F);
+  const QuantParams params = choose_quant_params(t, /*symmetric=*/true);
+  EXPECT_EQ(params.zero_point, 0);
+  EXPECT_NEAR(params.scale, 0.9F / 127.0F, 0.01F);
+}
+
+TEST(QuantParams, RangeIncludesZeroSoPaddingIsExact) {
+  // All-positive data: zero must still quantize exactly (padding!).
+  const Tensor t = random_tensor(Shape{100}, 3, 2.0F, 6.0F);
+  const QuantParams params = choose_quant_params(t);
+  EXPECT_NEAR(params.dequantize(params.quantize(0.0F)), 0.0F,
+              0.5F * params.scale);
+}
+
+TEST(QuantParams, ConstantTensorHandled) {
+  Tensor t(Shape{4});
+  t.fill(0.0F);
+  const QuantParams params = choose_quant_params(t);
+  EXPECT_GT(params.scale, 0.0F);
+  EXPECT_EQ(params.quantize(0.0F), params.zero_point);
+}
+
+TEST(QuantParams, SaturatesAtInt8Limits) {
+  QuantParams params;
+  params.scale = 0.1F;
+  params.zero_point = 0;
+  EXPECT_EQ(params.quantize(100.0F), 127);
+  EXPECT_EQ(params.quantize(-100.0F), -128);
+}
+
+TEST(QuantizedTensor, DequantizeRoundTrip) {
+  const Tensor t = random_tensor(Shape{3, 4}, 4);
+  const QuantizedTensor q = quantize_calibrated(t);
+  const Tensor back = dequantize(q);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_LT(max_abs_diff(back, t), q.params.scale);
+}
+
+TEST(QuantizedTensor, InvalidScaleThrows) {
+  QuantParams bad;
+  bad.scale = 0.0F;
+  EXPECT_THROW(quantize(Tensor(Shape{2}), bad), util::Error);
+}
+
+}  // namespace
+}  // namespace fuse::tensor
+
+namespace fuse::nn {
+namespace {
+
+using tensor::QuantizedTensor;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::quantize_calibrated;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+/// Error bound for an INT8 conv output: each of the `taps` products has
+/// quantization error ~<= 0.5*(s_in*|w| + s_w*|x|); use a loose uniform
+/// bound instead.
+float int8_tolerance(std::int64_t taps, float in_scale, float w_scale) {
+  return static_cast<float>(taps) * (in_scale + w_scale) * 0.7F;
+}
+
+TEST(Conv2dInt8, CloseToFloatConv) {
+  const Tensor input = random_tensor(Shape{1, 3, 8, 8}, 11);
+  const Tensor weight = random_tensor(Shape{4, 3, 3, 3}, 12);
+  Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  const Tensor expected = conv2d(input, weight, nullptr, p);
+
+  const QuantizedTensor q_in = quantize_calibrated(input);
+  const QuantizedTensor q_w = quantize_calibrated(weight, true);
+  const Tensor actual = conv2d_int8(q_in, q_w, p);
+
+  EXPECT_EQ(actual.shape(), expected.shape());
+  EXPECT_LT(tensor::max_abs_diff(actual, expected),
+            int8_tolerance(27, q_in.params.scale, q_w.params.scale));
+  // And it is far more accurate than doing nothing: outputs correlate.
+  EXPECT_LT(tensor::max_abs_diff(actual, expected),
+            0.05F * expected.abs_max() + 0.05F);
+}
+
+TEST(Conv2dInt8, DepthwiseGroupsWork) {
+  const Tensor input = random_tensor(Shape{1, 4, 6, 6}, 13);
+  const Tensor weight = random_tensor(Shape{4, 1, 3, 3}, 14);
+  Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  p.groups = 4;
+  const Tensor expected = conv2d(input, weight, nullptr, p);
+  const Tensor actual = conv2d_int8(quantize_calibrated(input),
+                                    quantize_calibrated(weight, true), p);
+  EXPECT_LT(tensor::max_abs_diff(actual, expected), 0.1F);
+}
+
+TEST(Conv2dInt8, StridedAndAsymmetricKernels) {
+  // A FuSe row branch shape: 1x3 kernel, stride 2.
+  const Tensor input = random_tensor(Shape{1, 2, 8, 8}, 15);
+  const Tensor weight = random_tensor(Shape{2, 1, 1, 3}, 16);
+  Conv2dParams p;
+  p.stride_h = 2;
+  p.stride_w = 2;
+  p.pad_w = 1;
+  p.groups = 2;
+  const Tensor expected = conv2d(input, weight, nullptr, p);
+  const Tensor actual = conv2d_int8(quantize_calibrated(input),
+                                    quantize_calibrated(weight, true), p);
+  EXPECT_LT(tensor::max_abs_diff(actual, expected), 0.06F);
+}
+
+TEST(Conv2dInt8, RequiresSymmetricWeights) {
+  const Tensor input = random_tensor(Shape{1, 1, 4, 4}, 17);
+  // Shift weights so affine calibration produces a non-zero zero point.
+  const Tensor weight = random_tensor(Shape{1, 1, 3, 3}, 18);
+  Tensor shifted = weight;
+  for (std::int64_t i = 0; i < shifted.num_elements(); ++i) {
+    shifted[i] += 10.0F;
+  }
+  const QuantizedTensor q_w = quantize_calibrated(shifted, false);
+  ASSERT_NE(q_w.params.zero_point, 0);
+  EXPECT_THROW(conv2d_int8(quantize_calibrated(input), q_w, {}),
+               util::Error);
+}
+
+TEST(LinearInt8, CloseToFloatLinear) {
+  const Tensor input = random_tensor(Shape{2, 16}, 19);
+  const Tensor weight = random_tensor(Shape{5, 16}, 20);
+  const Tensor expected = linear(input, weight, nullptr);
+  const Tensor actual = linear_int8(quantize_calibrated(input),
+                                    quantize_calibrated(weight, true));
+  EXPECT_LT(tensor::max_abs_diff(actual, expected), 0.08F);
+}
+
+}  // namespace
+}  // namespace fuse::nn
+
+namespace fuse::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(FuseConvInt8, CloseToFp32Forward) {
+  FuseConvSpec spec;
+  spec.channels = 8;
+  spec.in_h = 10;
+  spec.in_w = 10;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  for (FuseVariant variant : {FuseVariant::kFull, FuseVariant::kHalf}) {
+    spec.variant = variant;
+    util::Rng rng(21);
+    const FuseConvStage stage(spec, rng);
+    Tensor input(Shape{1, 8, 10, 10});
+    input.fill_uniform(rng, -1.0F, 1.0F);
+    const Tensor fp32 = stage.forward(input);
+    const Tensor int8 = fuseconv_forward_int8(stage, input);
+    EXPECT_EQ(int8.shape(), fp32.shape());
+    // K=3 taps per output: tight error budget.
+    EXPECT_LT(tensor::max_abs_diff(int8, fp32), 0.08F)
+        << fuse_variant_name(variant);
+  }
+}
+
+TEST(FuseConvInt8, StridedVariant) {
+  FuseConvSpec spec;
+  spec.channels = 4;
+  spec.in_h = 8;
+  spec.in_w = 8;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.pad = 1;
+  spec.variant = FuseVariant::kHalf;
+  util::Rng rng(22);
+  const FuseConvStage stage(spec, rng);
+  Tensor input(Shape{1, 4, 8, 8});
+  input.fill_uniform(rng, -1.0F, 1.0F);
+  EXPECT_LT(
+      tensor::max_abs_diff(fuseconv_forward_int8(stage, input),
+                           stage.forward(input)),
+      0.08F);
+}
+
+}  // namespace
+}  // namespace fuse::core

@@ -1,0 +1,160 @@
+// Tests for the sched report builders (Table-I rows, layer-wise speedups,
+// scaling sweeps) and the squeeze-excite functional composite.
+#include <gtest/gtest.h>
+
+#include "nn/ops.hpp"
+#include "sched/report.hpp"
+#include "util/rng.hpp"
+
+namespace fuse::sched {
+namespace {
+
+using core::NetworkVariant;
+using nets::NetworkId;
+
+TEST(Table1Builder, SpeedupsConsistentWithDirectComputation) {
+  const ArrayConfig cfg = systolic::square_array(32);  // off-headline size
+  const auto rows = table1_rows(cfg);
+  for (const Table1Row& row : rows) {
+    const double direct = speedup_vs_baseline(row.network, row.variant, cfg);
+    EXPECT_NEAR(row.speedup, direct, 1e-9)
+        << nets::network_name(row.network) << " "
+        << core::network_variant_name(row.variant);
+  }
+}
+
+TEST(Table1Builder, CyclesDecreaseExactlyWhereSpeedupSaysSo) {
+  const ArrayConfig cfg = systolic::square_array(64);
+  const auto rows = table1_rows(cfg);
+  std::uint64_t baseline_cycles = 0;
+  for (const Table1Row& row : rows) {
+    if (row.variant == NetworkVariant::kBaseline) {
+      baseline_cycles = row.cycles;
+    } else {
+      EXPECT_NEAR(static_cast<double>(baseline_cycles) /
+                      static_cast<double>(row.cycles),
+                  row.speedup, 1e-9);
+    }
+  }
+}
+
+TEST(Table1Builder, ParamsIndependentOfArraySize) {
+  // MACs/params are properties of the network; only the 50% variants may
+  // differ across arrays (slot selection depends on per-slot savings).
+  const auto rows32 = table1_rows(systolic::square_array(32));
+  const auto rows64 = table1_rows(systolic::square_array(64));
+  ASSERT_EQ(rows32.size(), rows64.size());
+  for (std::size_t i = 0; i < rows32.size(); ++i) {
+    if (rows32[i].variant == NetworkVariant::kFuseFull50 ||
+        rows32[i].variant == NetworkVariant::kFuseHalf50) {
+      continue;
+    }
+    EXPECT_EQ(rows32[i].macs, rows64[i].macs);
+    EXPECT_EQ(rows32[i].params, rows64[i].params);
+  }
+}
+
+TEST(LayerwiseBuilder, WorksForEveryNetworkAndMode) {
+  const ArrayConfig cfg = systolic::square_array(64);
+  for (NetworkId id : nets::paper_networks()) {
+    for (core::FuseMode mode :
+         {core::FuseMode::kFull, core::FuseMode::kHalf}) {
+      const auto slots = layerwise_speedup(id, mode, cfg);
+      EXPECT_EQ(static_cast<int>(slots.size()), nets::num_fuse_slots(id))
+          << nets::network_name(id);
+      for (const SlotSpeedup& s : slots) {
+        EXPECT_GT(s.baseline_cycles, s.fused_cycles) << s.name;
+      }
+    }
+  }
+}
+
+TEST(ScalingBuilder, MatchesPerSizeSpeedups) {
+  const auto points = scaling_sweep(
+      NetworkId::kMobileNetV3Small, NetworkVariant::kFuseFull, {16, 64});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[0].speedup,
+              speedup_vs_baseline(NetworkId::kMobileNetV3Small,
+                                  NetworkVariant::kFuseFull,
+                                  systolic::square_array(16)),
+              1e-9);
+  EXPECT_EQ(points[1].array_size, 64);
+}
+
+}  // namespace
+}  // namespace fuse::sched
+
+namespace fuse::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SqueezeExcite, GatesAreBoundedAndApplied) {
+  util::Rng rng(70);
+  Tensor input(Shape{2, 4, 3, 3});
+  input.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor reduce_w(Shape{2, 4});
+  reduce_w.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor reduce_b(Shape{2});
+  Tensor expand_w(Shape{4, 2});
+  expand_w.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor expand_b(Shape{4});
+
+  const Tensor out =
+      squeeze_excite(input, reduce_w, reduce_b, expand_w, expand_b);
+  EXPECT_EQ(out.shape(), input.shape());
+  // Hard-sigmoid gates are in [0, 1]: |out| <= |in| elementwise.
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) {
+    EXPECT_LE(std::abs(out[i]), std::abs(input[i]) + 1e-6F) << i;
+  }
+}
+
+TEST(SqueezeExcite, SaturatedGateIsIdentity) {
+  // Large positive expand bias -> hard-sigmoid saturates at 1 -> identity.
+  Tensor input(Shape{1, 3, 2, 2});
+  input.fill_iota();
+  Tensor reduce_w(Shape{1, 3});
+  Tensor reduce_b(Shape{1});
+  Tensor expand_w(Shape{3, 1});
+  Tensor expand_b(Shape{3});
+  expand_b.fill(10.0F);
+  const Tensor out =
+      squeeze_excite(input, reduce_w, reduce_b, expand_w, expand_b);
+  EXPECT_TRUE(tensor::allclose(out, input));
+}
+
+TEST(SqueezeExcite, PerSampleGating) {
+  // Two samples with different magnitudes get different gates.
+  util::Rng rng(71);
+  Tensor input(Shape{2, 2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) {
+    input[i] = 0.1F;         // sample 0: small
+    input[8 + i] = 3.0F;     // sample 1: large
+  }
+  Tensor reduce_w(Shape{1, 2});
+  reduce_w.fill(1.0F);
+  Tensor reduce_b(Shape{1});
+  Tensor expand_w(Shape{2, 1});
+  expand_w.fill(1.0F);
+  Tensor expand_b(Shape{2});
+  const Tensor out =
+      squeeze_excite(input, reduce_w, reduce_b, expand_w, expand_b);
+  const float gate0 = out[0] / input[0];
+  const float gate1 = out[8] / input[8];
+  EXPECT_GT(gate1, gate0);
+}
+
+TEST(SqueezeExcite, ShapeMismatchThrows) {
+  Tensor input(Shape{1, 3, 2, 2});
+  Tensor reduce_w(Shape{1, 4});  // wrong C
+  Tensor reduce_b(Shape{1});
+  Tensor expand_w(Shape{3, 1});
+  Tensor expand_b(Shape{3});
+  EXPECT_THROW(
+      squeeze_excite(input, reduce_w, reduce_b, expand_w, expand_b),
+      util::Error);
+}
+
+}  // namespace
+}  // namespace fuse::nn

@@ -1,0 +1,426 @@
+// Tests for the cycle-level PE-grid simulator: functional results must
+// match the fuse::nn reference, and cycle counts must match the analytic
+// model exactly (non-overlapped mode).
+#include <gtest/gtest.h>
+
+#include "nn/ops.hpp"
+#include "systolic/cycle_model.hpp"
+#include "systolic/sim.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fuse::systolic {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::allclose;
+
+ArrayConfig array_no_overlap(std::int64_t size) {
+  ArrayConfig cfg = square_array(size);
+  cfg.overlap_fold_drain = false;
+  return cfg;
+}
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+// --- output-stationary matmul -----------------------------------------------
+
+TEST(SimMatmul, HandComputed2x2) {
+  SystolicArraySim sim(square_array(4));
+  const Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_EQ(result.output.at(0, 0), 19.0F);
+  EXPECT_EQ(result.output.at(1, 1), 50.0F);
+}
+
+TEST(SimMatmul, MatchesReferenceWithinOneFold) {
+  SystolicArraySim sim(square_array(8));
+  const Tensor a = random_tensor(Shape{8, 16}, 1);
+  const Tensor b = random_tensor(Shape{16, 8}, 2);
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_TRUE(allclose(result.output, nn::matmul(a, b), 1e-4F, 1e-5F));
+}
+
+TEST(SimMatmul, MatchesReferenceAcrossFolds) {
+  SystolicArraySim sim(square_array(4));
+  const Tensor a = random_tensor(Shape{13, 7}, 3);
+  const Tensor b = random_tensor(Shape{7, 10}, 4);
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_EQ(result.folds, 4u * 3);  // ceil(13/4) x ceil(10/4)
+  EXPECT_TRUE(allclose(result.output, nn::matmul(a, b), 1e-4F, 1e-5F));
+}
+
+TEST(SimMatmul, CyclesMatchAnalyticSingleFold) {
+  const ArrayConfig cfg = array_no_overlap(8);
+  SystolicArraySim sim(cfg);
+  const Tensor a = random_tensor(Shape{8, 5}, 5);
+  const Tensor b = random_tensor(Shape{5, 8}, 6);
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_EQ(result.cycles, matmul_latency(8, 5, 8, cfg).cycles);
+}
+
+TEST(SimMatmul, MacOpsMatchAnalytic) {
+  const ArrayConfig cfg = array_no_overlap(4);
+  SystolicArraySim sim(cfg);
+  const Tensor a = random_tensor(Shape{9, 6}, 7);
+  const Tensor b = random_tensor(Shape{6, 5}, 8);
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_EQ(result.mac_ops, matmul_latency(9, 6, 5, cfg).mac_ops);
+  EXPECT_EQ(result.mac_ops, 9ULL * 6 * 5);
+}
+
+TEST(SimMatmul, InnerDimMismatchThrows) {
+  SystolicArraySim sim(square_array(4));
+  EXPECT_THROW(sim.matmul(Tensor(Shape{2, 3}), Tensor(Shape{4, 2})),
+               util::Error);
+}
+
+struct SimCase {
+  std::int64_t m, t, n, array;
+};
+
+class SimMatmulSweep : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimMatmulSweep, ResultAndCyclesMatch) {
+  const SimCase c = GetParam();
+  const ArrayConfig cfg = array_no_overlap(c.array);
+  SystolicArraySim sim(cfg);
+  const Tensor a = random_tensor(Shape{c.m, c.t}, 100 + c.m);
+  const Tensor b = random_tensor(Shape{c.t, c.n}, 200 + c.n);
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_TRUE(allclose(result.output, nn::matmul(a, b), 1e-3F, 1e-4F));
+  const LatencyEstimate analytic = matmul_latency(c.m, c.t, c.n, cfg);
+  EXPECT_EQ(result.cycles, analytic.cycles);
+  EXPECT_EQ(result.folds, analytic.folds);
+  EXPECT_EQ(result.mac_ops, analytic.mac_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimMatmulSweep,
+    ::testing::Values(SimCase{1, 1, 1, 4}, SimCase{4, 4, 4, 4},
+                      SimCase{5, 3, 9, 4}, SimCase{16, 2, 16, 8},
+                      SimCase{7, 11, 13, 8}, SimCase{3, 20, 2, 2},
+                      SimCase{12, 1, 12, 8}, SimCase{9, 9, 9, 3}));
+
+// --- broadcast 1-D convolution ----------------------------------------------
+
+/// Reference: valid 1-D convolution of each line with its kernel.
+Tensor conv1d_reference(const Tensor& lines, const Tensor& kernels) {
+  const std::int64_t num_lines = lines.shape().dim(0);
+  const std::int64_t width = lines.shape().dim(1);
+  const std::int64_t taps = kernels.shape().dim(1);
+  Tensor out(Shape{num_lines, width - taps + 1});
+  for (std::int64_t l = 0; l < num_lines; ++l) {
+    for (std::int64_t o = 0; o < width - taps + 1; ++o) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < taps; ++k) {
+        acc += static_cast<double>(kernels.at(l, k)) *
+               static_cast<double>(lines.at(l, o + k));
+      }
+      out.at(l, o) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(SimConv1d, HandComputedTwoTaps) {
+  SystolicArraySim sim(square_array(4));
+  const Tensor lines(Shape{1, 4}, {1, 2, 3, 4});
+  const Tensor kernels(Shape{1, 2}, {1, 10});
+  const SimResult result = sim.conv1d_broadcast(lines, kernels);
+  // out[o] = x[o] + 10*x[o+1]
+  EXPECT_EQ(result.output.shape(), (Shape{1, 3}));
+  EXPECT_EQ(result.output.at(0, 0), 21.0F);
+  EXPECT_EQ(result.output.at(0, 1), 32.0F);
+  EXPECT_EQ(result.output.at(0, 2), 43.0F);
+}
+
+TEST(SimConv1d, PerLineKernelsAreIndependent) {
+  SystolicArraySim sim(square_array(4));
+  const Tensor lines(Shape{2, 3}, {1, 1, 1, 2, 2, 2});
+  const Tensor kernels(Shape{2, 2}, {1, 0, 0, 1});
+  const SimResult result = sim.conv1d_broadcast(lines, kernels);
+  EXPECT_EQ(result.output.at(0, 0), 1.0F);
+  EXPECT_EQ(result.output.at(1, 0), 2.0F);
+}
+
+TEST(SimConv1d, MatchesReferenceAcrossFolds) {
+  SystolicArraySim sim(square_array(4));
+  const Tensor lines = random_tensor(Shape{10, 11}, 9);
+  const Tensor kernels = random_tensor(Shape{10, 3}, 10);
+  const SimResult result = sim.conv1d_broadcast(lines, kernels);
+  EXPECT_TRUE(allclose(result.output, conv1d_reference(lines, kernels),
+                       1e-4F, 1e-5F));
+  // lines fold: ceil(10/4)=3; output fold: ceil(9/4)=3.
+  EXPECT_EQ(result.folds, 9u);
+}
+
+TEST(SimConv1d, CyclesMatchAnalytic) {
+  const ArrayConfig cfg = array_no_overlap(4);
+  SystolicArraySim sim(cfg);
+  const Tensor lines = random_tensor(Shape{10, 11}, 11);
+  const Tensor kernels = random_tensor(Shape{10, 3}, 12);
+  const SimResult result = sim.conv1d_broadcast(lines, kernels);
+  const LatencyEstimate analytic = fuse1d_latency(10, 9, 3, cfg);
+  EXPECT_EQ(result.cycles, analytic.cycles);
+  EXPECT_EQ(result.mac_ops, analytic.mac_ops);
+}
+
+TEST(SimConv1d, RequiresBroadcastLinks) {
+  SystolicArraySim sim(square_array(4, /*broadcast=*/false));
+  EXPECT_THROW(
+      sim.conv1d_broadcast(Tensor(Shape{1, 4}), Tensor(Shape{1, 2})),
+      util::Error);
+}
+
+TEST(SimConv1d, LineShorterThanKernelThrows) {
+  SystolicArraySim sim(square_array(4));
+  EXPECT_THROW(
+      sim.conv1d_broadcast(Tensor(Shape{1, 2}), Tensor(Shape{1, 3})),
+      util::Error);
+}
+
+class SimConv1dSweep : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimConv1dSweep, ResultAndCyclesMatch) {
+  const SimCase c = GetParam();  // m=lines, t=width, n=taps
+  const ArrayConfig cfg = array_no_overlap(c.array);
+  SystolicArraySim sim(cfg);
+  const Tensor lines = random_tensor(Shape{c.m, c.t}, 300 + c.m);
+  const Tensor kernels = random_tensor(Shape{c.m, c.n}, 400 + c.n);
+  const SimResult result = sim.conv1d_broadcast(lines, kernels);
+  EXPECT_TRUE(allclose(result.output, conv1d_reference(lines, kernels),
+                       1e-3F, 1e-4F));
+  const LatencyEstimate analytic =
+      fuse1d_latency(c.m, c.t - c.n + 1, c.n, cfg);
+  EXPECT_EQ(result.cycles, analytic.cycles);
+  EXPECT_EQ(result.folds, analytic.folds);
+  EXPECT_EQ(result.mac_ops, analytic.mac_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimConv1dSweep,
+    ::testing::Values(SimCase{1, 3, 3, 4},   // single line, single output
+                      SimCase{4, 8, 3, 4},   // exact fit
+                      SimCase{5, 9, 2, 4},   // ragged folds
+                      SimCase{16, 12, 5, 8}, // K=5 (MobileNet-V3 blocks)
+                      SimCase{3, 30, 3, 8},  // long lines
+                      SimCase{20, 6, 3, 16}  // more lines than rows... wide
+                      ));
+
+// --- dataflow comparison ----------------------------------------------------
+
+TEST(DataflowComparison, BroadcastBeatsSingleColumnOnSameWork) {
+  // Run the same 1-D convolutions both ways and compare measured cycles:
+  // the proposed dataflow is the win the whole paper is about.
+  const ArrayConfig cfg = array_no_overlap(16);
+  SystolicArraySim sim(cfg);
+  const Tensor lines = random_tensor(Shape{32, 18}, 13);
+  const Tensor kernels = random_tensor(Shape{32, 3}, 14);
+  const SimResult broadcast = sim.conv1d_broadcast(lines, kernels);
+
+  // Single-column fallback: each line is a [16, 3] x [3, 1] matmul.
+  std::uint64_t fallback_cycles = 0;
+  for (std::int64_t l = 0; l < 32; ++l) {
+    Tensor patches(Shape{16, 3});
+    for (std::int64_t o = 0; o < 16; ++o) {
+      for (std::int64_t k = 0; k < 3; ++k) {
+        patches.at(o, k) = lines.at(l, o + k);
+      }
+    }
+    Tensor filter(Shape{3, 1});
+    for (std::int64_t k = 0; k < 3; ++k) {
+      filter.at(k, 0) = kernels.at(l, k);
+    }
+    const SimResult one = sim.matmul(patches, filter);
+    fallback_cycles += one.cycles;
+    // Same numeric answer either way.
+    for (std::int64_t o = 0; o < 16; ++o) {
+      EXPECT_NEAR(one.output.at(o, 0), broadcast.output.at(l, o), 1e-4F);
+    }
+  }
+  EXPECT_EQ(fallback_cycles,
+            fuse1d_no_broadcast_latency(32, 16, 3, cfg).cycles);
+  EXPECT_GT(fallback_cycles, 5 * broadcast.cycles);
+}
+
+}  // namespace
+}  // namespace fuse::systolic
+
+// NOTE: appended suite — cycle-level WS/IS dataflow simulation.
+namespace fuse::systolic {
+namespace {
+
+ArrayConfig df_array(Dataflow df, std::int64_t size) {
+  ArrayConfig cfg = square_array(size);
+  cfg.dataflow = df;
+  cfg.overlap_fold_drain = false;
+  return cfg;
+}
+
+TEST(SimWeightStationary, HandComputed2x2) {
+  SystolicArraySim sim(df_array(Dataflow::kWeightStationary, 4));
+  const Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_EQ(result.output.at(0, 0), 19.0F);
+  EXPECT_EQ(result.output.at(1, 1), 50.0F);
+}
+
+TEST(SimWeightStationary, AccumulatesAcrossReductionFolds) {
+  // depth 9 on a 4-row array: 3 reduction folds must sum correctly.
+  SystolicArraySim sim(df_array(Dataflow::kWeightStationary, 4));
+  const Tensor a = [] {
+    util::Rng rng(31);
+    Tensor t(Shape{5, 9});
+    t.fill_uniform(rng, -1.0F, 1.0F);
+    return t;
+  }();
+  const Tensor b = [] {
+    util::Rng rng(32);
+    Tensor t(Shape{9, 6});
+    t.fill_uniform(rng, -1.0F, 1.0F);
+    return t;
+  }();
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_TRUE(allclose(result.output, nn::matmul(a, b), 1e-4F, 1e-5F));
+  EXPECT_EQ(result.folds, 3u * 2);
+}
+
+TEST(SimInputStationary, HandComputed2x2) {
+  SystolicArraySim sim(df_array(Dataflow::kInputStationary, 4));
+  const Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_EQ(result.output.at(0, 0), 19.0F);
+  EXPECT_EQ(result.output.at(1, 0), 43.0F);
+}
+
+class SimDataflowSweep : public ::testing::TestWithParam<
+                             std::tuple<Dataflow, int, int, int, int>> {};
+
+TEST_P(SimDataflowSweep, ResultAndCyclesMatchAnalytic) {
+  const auto [df, m, t, n, size] = GetParam();
+  const ArrayConfig cfg = df_array(df, size);
+  SystolicArraySim sim(cfg);
+  util::Rng rng(static_cast<std::uint64_t>(m * 100 + t * 10 + n));
+  Tensor a(Shape{m, t});
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor b(Shape{t, n});
+  b.fill_uniform(rng, -1.0F, 1.0F);
+  const SimResult result = sim.matmul(a, b);
+  EXPECT_TRUE(allclose(result.output, nn::matmul(a, b), 1e-3F, 1e-4F));
+  const LatencyEstimate analytic = matmul_latency(m, t, n, cfg);
+  EXPECT_EQ(result.cycles, analytic.cycles);
+  EXPECT_EQ(result.folds, analytic.folds);
+  EXPECT_EQ(result.mac_ops, analytic.mac_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimDataflowSweep,
+    ::testing::Combine(
+        ::testing::Values(Dataflow::kWeightStationary,
+                          Dataflow::kInputStationary),
+        ::testing::Values(1, 5, 9),    // M
+        ::testing::Values(3, 8, 13),   // T
+        ::testing::Values(1, 4, 10),   // N
+        ::testing::Values(4, 8)));     // array
+
+
+// --- PE activity heatmaps -------------------------------------------------------
+
+TEST(PeBusy, SumsEqualMacOps) {
+  SystolicArraySim sim(square_array(8));
+  const Tensor a = random_tensor(Shape{13, 7}, 41);
+  const Tensor b = random_tensor(Shape{7, 10}, 42);
+  const SimResult r = sim.matmul(a, b);
+  EXPECT_EQ(static_cast<std::uint64_t>(r.pe_busy.sum() + 0.5), r.mac_ops);
+}
+
+TEST(PeBusy, SingleColumnMatmulLightsOneColumn) {
+  // The depthwise pathology, at PE granularity.
+  SystolicArraySim sim(square_array(8));
+  const Tensor a = random_tensor(Shape{8, 9}, 43);
+  const Tensor b = random_tensor(Shape{9, 1}, 44);
+  const SimResult r = sim.matmul(a, b);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_GT(r.pe_busy.at(i, 0), 0.0F);
+    for (std::int64_t j = 1; j < 8; ++j) {
+      EXPECT_EQ(r.pe_busy.at(i, j), 0.0F);
+    }
+  }
+}
+
+TEST(PeBusy, BroadcastConvFillsTheGrid) {
+  SystolicArraySim sim(square_array(8));
+  const Tensor lines = random_tensor(Shape{8, 10}, 45);
+  const Tensor kernels = random_tensor(Shape{8, 3}, 46);
+  const SimResult r = sim.conv1d_broadcast(lines, kernels);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      EXPECT_GT(r.pe_busy.at(i, j), 0.0F) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(r.pe_busy.sum() + 0.5), r.mac_ops);
+}
+
+TEST(PeBusy, WeightStationaryTracksToo) {
+  SystolicArraySim sim(df_array(Dataflow::kWeightStationary, 4));
+  const Tensor a = random_tensor(Shape{6, 4}, 47);
+  const Tensor b = random_tensor(Shape{4, 4}, 48);
+  const SimResult r = sim.matmul(a, b);
+  EXPECT_EQ(static_cast<std::uint64_t>(r.pe_busy.sum() + 0.5), r.mac_ops);
+}
+
+TEST(Heatmap, RendersIdleAndScaledCells) {
+  Tensor busy(Shape{2, 3});
+  busy.at(0, 0) = 9.0F;
+  busy.at(1, 2) = 1.0F;
+  const std::string map = render_pe_heatmap(busy);
+  EXPECT_EQ(map, "9..\n..1\n");
+}
+
+TEST(Heatmap, AllIdleRendersDots) {
+  const std::string map = render_pe_heatmap(Tensor(Shape{1, 4}));
+  EXPECT_EQ(map, "....\n");
+}
+
+TEST(Heatmap, WrongRankThrows) {
+  EXPECT_THROW(render_pe_heatmap(Tensor(Shape{4})), util::Error);
+}
+
+
+TEST(RectangularArrays, SimMatchesAnalyticOnNonSquareGrids) {
+  for (const auto [rows, cols] : {std::pair<std::int64_t, std::int64_t>{3, 9},
+                                  {9, 3},
+                                  {2, 16}}) {
+    ArrayConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.overlap_fold_drain = false;
+    SystolicArraySim sim(cfg);
+    const Tensor a = random_tensor(Shape{11, 6}, 61);
+    const Tensor b = random_tensor(Shape{6, 13}, 62);
+    const SimResult r = sim.matmul(a, b);
+    EXPECT_TRUE(allclose(r.output, nn::matmul(a, b), 1e-3F, 1e-4F))
+        << rows << "x" << cols;
+    EXPECT_EQ(r.cycles, matmul_latency(11, 6, 13, cfg).cycles)
+        << rows << "x" << cols;
+    const Tensor lines = random_tensor(Shape{7, 9}, 63);
+    const Tensor kernels = random_tensor(Shape{7, 3}, 64);
+    const SimResult c = sim.conv1d_broadcast(lines, kernels);
+    EXPECT_EQ(c.cycles, fuse1d_latency(7, 7, 3, cfg).cycles)
+        << rows << "x" << cols;
+  }
+}
+
+}  // namespace
+}  // namespace fuse::systolic

@@ -1,0 +1,770 @@
+// Tests for the training substrate: finite-difference gradient checks for
+// every layer, loss correctness, optimizer behaviour, dataset properties,
+// and a short end-to-end training run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "train/dataset.hpp"
+#include "train/fuse_module.hpp"
+#include "train/loss.hpp"
+#include "train/models.hpp"
+#include "train/module.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+#include "tensor/half.hpp"
+#include "util/check.hpp"
+
+namespace fuse::train {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+/// Scalar objective: sum of module output (so dL/dout = 1 everywhere).
+double objective(Module& module, const Tensor& input) {
+  return module.forward(input).sum();
+}
+
+/// Checks analytic parameter and input gradients against central finite
+/// differences for the given module/input.
+void check_gradients(Module& module, const Tensor& input,
+                     float tolerance = 2e-2F) {
+  // Analytic gradients.
+  std::vector<Parameter*> params;
+  module.collect_params(params);
+  for (Parameter* p : params) {
+    p->zero_grad();
+  }
+  const Tensor out = module.forward(input);
+  Tensor ones(out.shape());
+  ones.fill(1.0F);
+  const Tensor grad_input = module.backward(ones);
+
+  const float eps = 1e-2F;
+  // Parameter gradients (sample a few entries of each parameter).
+  for (Parameter* p : params) {
+    const std::int64_t n = p->value.num_elements();
+    for (std::int64_t j = 0; j < n; j += std::max<std::int64_t>(1, n / 7)) {
+      const float saved = p->value[j];
+      p->value[j] = saved + eps;
+      const double up = objective(module, input);
+      p->value[j] = saved - eps;
+      const double down = objective(module, input);
+      p->value[j] = saved;
+      const float numeric = static_cast<float>((up - down) / (2.0 * eps));
+      EXPECT_NEAR(p->grad[j], numeric, tolerance)
+          << p->name << "[" << j << "]";
+    }
+  }
+  // Input gradients.
+  Tensor perturbed = input;
+  const std::int64_t n = input.num_elements();
+  for (std::int64_t j = 0; j < n; j += std::max<std::int64_t>(1, n / 7)) {
+    const float saved = perturbed[j];
+    perturbed[j] = saved + eps;
+    const double up = objective(module, perturbed);
+    perturbed[j] = saved - eps;
+    const double down = objective(module, perturbed);
+    perturbed[j] = saved;
+    const float numeric = static_cast<float>((up - down) / (2.0 * eps));
+    EXPECT_NEAR(grad_input[j], numeric, tolerance) << "input[" << j << "]";
+  }
+}
+
+// --- gradient checks ----------------------------------------------------------
+
+TEST(Gradients, DenseConv) {
+  util::Rng rng(1);
+  nn::Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  Conv2d conv("c", 2, 3, 3, 3, p, rng);
+  check_gradients(conv, random_tensor(Shape{2, 2, 5, 5}, 2));
+}
+
+TEST(Gradients, StridedConv) {
+  util::Rng rng(3);
+  nn::Conv2dParams p;
+  p.stride_h = 2;
+  p.stride_w = 2;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  Conv2d conv("c", 2, 2, 3, 3, p, rng);
+  check_gradients(conv, random_tensor(Shape{1, 2, 6, 6}, 4));
+}
+
+TEST(Gradients, DepthwiseConv) {
+  util::Rng rng(5);
+  nn::Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  p.groups = 3;
+  Conv2d conv("dw", 3, 3, 3, 3, p, rng);
+  check_gradients(conv, random_tensor(Shape{1, 3, 5, 5}, 6));
+}
+
+TEST(Gradients, AsymmetricKernelConv) {
+  // The 1xK kernels of FuSeConv's row branch.
+  util::Rng rng(7);
+  nn::Conv2dParams p;
+  p.pad_w = 1;
+  p.groups = 2;
+  Conv2d conv("row", 2, 2, 1, 3, p, rng);
+  check_gradients(conv, random_tensor(Shape{1, 2, 4, 6}, 8));
+}
+
+TEST(Gradients, Linear) {
+  util::Rng rng(9);
+  Linear fc("fc", 6, 4, rng);
+  check_gradients(fc, random_tensor(Shape{3, 6}, 10));
+}
+
+TEST(Gradients, ReluLayer) {
+  ActivationLayer act(Activation::kRelu);
+  // Keep values away from the kink at 0.
+  Tensor input = random_tensor(Shape{2, 2, 3, 3}, 11);
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) {
+    if (std::fabs(input[i]) < 0.1F) {
+      input[i] = 0.5F;
+    }
+  }
+  check_gradients(act, input);
+}
+
+TEST(Gradients, GlobalAvgPool) {
+  GlobalAvgPool pool;
+  check_gradients(pool, random_tensor(Shape{2, 3, 4, 4}, 12));
+}
+
+TEST(Gradients, FuseModuleFull) {
+  util::Rng rng(13);
+  core::FuseConvSpec spec;
+  spec.channels = 2;
+  spec.in_h = 5;
+  spec.in_w = 5;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  spec.variant = core::FuseVariant::kFull;
+  FuseConvModule fuse("fuse", spec, rng);
+  check_gradients(fuse, random_tensor(Shape{1, 2, 5, 5}, 14));
+}
+
+TEST(Gradients, FuseModuleHalf) {
+  util::Rng rng(15);
+  core::FuseConvSpec spec;
+  spec.channels = 4;
+  spec.in_h = 5;
+  spec.in_w = 5;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  spec.variant = core::FuseVariant::kHalf;
+  FuseConvModule fuse("fuse", spec, rng);
+  check_gradients(fuse, random_tensor(Shape{1, 4, 5, 5}, 16));
+}
+
+TEST(Gradients, SequentialChainsBackprop) {
+  util::Rng rng(17);
+  Sequential net;
+  nn::Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  net.add(std::make_unique<Conv2d>("c", 2, 3, 3, 3, p, rng));
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>("fc", 3, 2, rng));
+  check_gradients(net, random_tensor(Shape{1, 2, 4, 4}, 18));
+}
+
+// --- FuseConvModule semantics ---------------------------------------------------
+
+TEST(FuseModule, ForwardMatchesCoreStage) {
+  util::Rng rng(19);
+  core::FuseConvSpec spec;
+  spec.channels = 4;
+  spec.in_h = 6;
+  spec.in_w = 6;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.pad = 1;
+  spec.variant = core::FuseVariant::kHalf;
+  FuseConvModule module("fuse", spec, rng);
+
+  // Copy the module's weights into a core stage (which has no bias) and
+  // zero the module's biases so they compute the same function.
+  core::FuseConvStage stage(spec);
+  stage.row_weights() = module.row_branch().weight().value;
+  stage.col_weights() = module.col_branch().weight().value;
+  module.row_branch().bias().value.fill(0.0F);
+  module.col_branch().bias().value.fill(0.0F);
+
+  const Tensor input = random_tensor(Shape{2, 4, 6, 6}, 20);
+  EXPECT_TRUE(tensor::allclose(module.forward(input), stage.forward(input),
+                               1e-5F, 1e-6F));
+}
+
+// --- loss ------------------------------------------------------------------------
+
+TEST(Loss, UniformLogitsGiveLogClasses) {
+  Tensor logits(Shape{1, 4});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3}, {10.0F, -5.0F, -5.0F});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-4);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Loss, GradientSumsToZeroPerSample) {
+  const Tensor logits = random_tensor(Shape{3, 5}, 21);
+  const LossResult r = softmax_cross_entropy(logits, {0, 4, 2});
+  for (std::int64_t n = 0; n < 3; ++n) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 5; ++c) {
+      sum += r.grad_logits.at(n, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  Tensor logits = random_tensor(Shape{2, 3}, 22);
+  const std::vector<std::int64_t> labels = {1, 2};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3F;
+  for (std::int64_t j = 0; j < logits.num_elements(); ++j) {
+    const float saved = logits[j];
+    logits[j] = saved + eps;
+    const double up = softmax_cross_entropy(logits, labels).loss;
+    logits[j] = saved - eps;
+    const double down = softmax_cross_entropy(logits, labels).loss;
+    logits[j] = saved;
+    EXPECT_NEAR(r.grad_logits[j], (up - down) / (2 * eps), 1e-3) << j;
+  }
+}
+
+TEST(Loss, BadLabelThrows) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), util::Error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), util::Error);
+}
+
+// --- optimizers --------------------------------------------------------------------
+
+TEST(Optimizers, SgdStepsDownhill) {
+  Parameter p("p", Shape{1});
+  p.value[0] = 1.0F;
+  p.grad[0] = 2.0F;
+  Sgd sgd({&p}, /*lr=*/0.1);
+  sgd.step();
+  EXPECT_NEAR(p.value[0], 0.8F, 1e-6F);
+}
+
+TEST(Optimizers, SgdMomentumAccumulates) {
+  Parameter p("p", Shape{1});
+  p.grad[0] = 1.0F;
+  Sgd sgd({&p}, /*lr=*/0.1, /*momentum=*/0.9);
+  sgd.step();          // v=1, x = -0.1
+  sgd.step();          // v=1.9, x = -0.29
+  EXPECT_NEAR(p.value[0], -0.29F, 1e-5F);
+}
+
+TEST(Optimizers, ZeroGradClears) {
+  Parameter p("p", Shape{2});
+  p.grad.fill(3.0F);
+  Sgd sgd({&p}, 0.1);
+  sgd.zero_grad();
+  EXPECT_EQ(p.grad[0], 0.0F);
+}
+
+TEST(Optimizers, RmsPropNormalizesStepSize) {
+  // Two parameters with very different gradient magnitudes should move by
+  // comparable amounts (that's the point of RMSprop).
+  Parameter a("a", Shape{1});
+  Parameter b("b", Shape{1});
+  a.grad[0] = 100.0F;
+  b.grad[0] = 0.01F;
+  RmsProp rms({&a, &b}, /*lr=*/0.01, /*alpha=*/0.9, /*momentum=*/0.0);
+  rms.step();
+  const float move_a = std::fabs(a.value[0]);
+  const float move_b = std::fabs(b.value[0]);
+  EXPECT_LT(move_a / move_b, 10.0F);
+}
+
+TEST(Optimizers, MinimizesQuadraticBowl) {
+  // f(x) = x^2; gradient 2x. Both optimizers should converge near 0.
+  for (bool use_rms : {false, true}) {
+    Parameter p("p", Shape{1});
+    p.value[0] = 5.0F;
+    std::unique_ptr<Optimizer> opt;
+    if (use_rms) {
+      opt = std::make_unique<RmsProp>(std::vector<Parameter*>{&p}, 0.05,
+                                      0.9, 0.5);
+    } else {
+      opt = std::make_unique<Sgd>(std::vector<Parameter*>{&p}, 0.1, 0.5);
+    }
+    for (int i = 0; i < 200; ++i) {
+      opt->zero_grad();
+      p.grad[0] = 2.0F * p.value[0];
+      opt->step();
+    }
+    EXPECT_NEAR(p.value[0], 0.0F, 0.05F) << (use_rms ? "rmsprop" : "sgd");
+  }
+}
+
+// --- dataset ------------------------------------------------------------------------
+
+TEST(Dataset, DeterministicForSeed) {
+  const DatasetConfig cfg;
+  TextureDataset a(cfg, 16, 42);
+  TextureDataset b(cfg, 16, 42);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(tensor::allclose(a.example(i).image, b.example(i).image));
+    EXPECT_EQ(a.example(i).label, b.example(i).label);
+  }
+}
+
+TEST(Dataset, BalancedClasses) {
+  const DatasetConfig cfg;
+  TextureDataset data(cfg, 40, 7);
+  std::vector<int> counts(static_cast<std::size_t>(cfg.num_classes), 0);
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    ++counts[static_cast<std::size_t>(data.example(i).label)];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 10);
+  }
+}
+
+TEST(Dataset, BatchStacksExamples) {
+  const DatasetConfig cfg;
+  TextureDataset data(cfg, 8, 3);
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  data.batch(2, 4, &images, &labels);
+  EXPECT_EQ(images.shape(),
+            (Shape{4, cfg.channels, cfg.height, cfg.width}));
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], data.example(2).label);
+  EXPECT_FLOAT_EQ(images[0], data.example(2).image[0]);
+}
+
+TEST(Dataset, BatchOutOfRangeThrows) {
+  TextureDataset data(DatasetConfig{}, 8, 3);
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  EXPECT_THROW(data.batch(6, 4, &images, &labels), util::Error);
+}
+
+TEST(Dataset, ClassesAreLinearlySeparableByOrientation) {
+  // Images of different classes should decorrelate: the mean absolute
+  // pixel correlation between class-0 and class-1 gratings is lower than
+  // within class 0 (sanity that labels carry signal).
+  DatasetConfig cfg;
+  cfg.noise_stddev = 0.0;
+  util::Rng rng(9);
+  const Example a1 = make_texture_example(cfg, 0, rng);
+  const Example b = make_texture_example(cfg, 1, rng);
+  EXPECT_EQ(a1.label, 0);
+  EXPECT_EQ(b.label, 1);
+  EXPECT_GT(a1.image.abs_max(), 0.5F);
+}
+
+// --- end-to-end training -------------------------------------------------------------
+
+TEST(Training, LossDecreasesOnTinyProblem) {
+  DatasetConfig dc;
+  dc.height = 12;
+  dc.width = 12;
+  TextureDataset train_data(dc, 64, 1);
+  TextureDataset eval_data(dc, 32, 2);
+
+  util::Rng rng(3);
+  TinyNetConfig nc;
+  nc.in_size = 12;
+  nc.stem_channels = 6;
+  nc.block_channels[0] = 8;
+  nc.block_channels[1] = 8;
+  nc.block_channels[2] = 12;
+  auto net = build_tiny_net(nc, core::FuseMode::kBaseline, rng);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.lr = 0.01;
+  const TrainResult result = train_model(*net, train_data, eval_data, tc);
+  ASSERT_EQ(result.history.size(), 4u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+  // 4 classes -> chance is 0.25; even a short run should beat it solidly.
+  EXPECT_GT(result.final_eval_accuracy, 0.4);
+}
+
+TEST(Training, FuseVariantsTrainToo) {
+  DatasetConfig dc;
+  dc.height = 12;
+  dc.width = 12;
+  TextureDataset train_data(dc, 48, 4);
+  TextureDataset eval_data(dc, 24, 5);
+
+  for (core::FuseMode mode : {core::FuseMode::kFull, core::FuseMode::kHalf}) {
+    util::Rng rng(6);
+    TinyNetConfig nc;
+    nc.in_size = 12;
+    nc.stem_channels = 6;
+    nc.block_channels[0] = 8;
+    nc.block_channels[1] = 8;
+    nc.block_channels[2] = 12;
+    auto net = build_tiny_net(nc, mode, rng);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 16;
+    const TrainResult result =
+        train_model(*net, train_data, eval_data, tc);
+    EXPECT_LT(result.history.back().train_loss,
+              result.history.front().train_loss)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(Training, EvaluateIsDeterministic) {
+  DatasetConfig dc;
+  dc.height = 8;
+  dc.width = 8;
+  TextureDataset data(dc, 16, 7);
+  util::Rng rng(8);
+  TinyNetConfig nc;
+  nc.in_size = 8;
+  nc.stem_channels = 4;
+  nc.block_channels[0] = 4;
+  nc.block_channels[1] = 4;
+  nc.block_channels[2] = 8;
+  auto net = build_tiny_net(nc, core::FuseMode::kBaseline, rng);
+  EXPECT_DOUBLE_EQ(evaluate(*net, data), evaluate(*net, data));
+}
+
+
+TEST(Training, Fp16ModeKeepsWeightsRepresentable) {
+  DatasetConfig dc;
+  dc.height = 8;
+  dc.width = 8;
+  TextureDataset train_data(dc, 32, 9);
+  TextureDataset eval_data(dc, 16, 10);
+  util::Rng rng(11);
+  TinyNetConfig nc;
+  nc.in_size = 8;
+  nc.stem_channels = 4;
+  nc.block_channels[0] = 4;
+  nc.block_channels[1] = 4;
+  nc.block_channels[2] = 8;
+  auto net = build_tiny_net(nc, core::FuseMode::kBaseline, rng);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.fp16 = true;
+  const TrainResult result = train_model(*net, train_data, eval_data, tc);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss + 0.5);
+  // Every weight must be exactly representable in binary16.
+  std::vector<Parameter*> params;
+  net->collect_params(params);
+  for (const Parameter* p : params) {
+    for (std::int64_t j = 0; j < p->value.num_elements(); ++j) {
+      EXPECT_EQ(p->value[j], tensor::quantize_half(p->value[j]))
+          << p->name << "[" << j << "]";
+    }
+  }
+}
+
+TEST(Training, EmaEvaluationReported) {
+  DatasetConfig dc;
+  dc.height = 8;
+  dc.width = 8;
+  TextureDataset train_data(dc, 32, 12);
+  TextureDataset eval_data(dc, 16, 13);
+  util::Rng rng(14);
+  TinyNetConfig nc;
+  nc.in_size = 8;
+  nc.stem_channels = 4;
+  nc.block_channels[0] = 4;
+  nc.block_channels[1] = 4;
+  nc.block_channels[2] = 8;
+  auto net = build_tiny_net(nc, core::FuseMode::kHalf, rng);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.ema_decay = 0.99;
+  const TrainResult result = train_model(*net, train_data, eval_data, tc);
+  // EMA accuracy is reported and is a valid accuracy.
+  EXPECT_GE(result.final_eval_accuracy_ema, 0.0);
+  EXPECT_LE(result.final_eval_accuracy_ema, 1.0);
+  // Raw weights must be restored after the EMA evaluation: evaluating
+  // again reproduces the recorded final accuracy.
+  EXPECT_DOUBLE_EQ(evaluate(*net, eval_data), result.final_eval_accuracy);
+}
+
+TEST(Training, EmaDisabledMirrorsRawAccuracy) {
+  DatasetConfig dc;
+  dc.height = 8;
+  dc.width = 8;
+  TextureDataset train_data(dc, 16, 15);
+  TextureDataset eval_data(dc, 16, 16);
+  util::Rng rng(17);
+  TinyNetConfig nc;
+  nc.in_size = 8;
+  nc.stem_channels = 4;
+  nc.block_channels[0] = 4;
+  nc.block_channels[1] = 4;
+  nc.block_channels[2] = 8;
+  auto net = build_tiny_net(nc, core::FuseMode::kBaseline, rng);
+  TrainConfig tc;
+  tc.epochs = 1;
+  const TrainResult result = train_model(*net, train_data, eval_data, tc);
+  EXPECT_DOUBLE_EQ(result.final_eval_accuracy,
+                   result.final_eval_accuracy_ema);
+}
+
+
+TEST(Dataset, BlobTaskGeneratesScaledBlobs) {
+  DatasetConfig cfg;
+  cfg.task = SyntheticTask::kBlobScale;
+  cfg.noise_stddev = 0.0;
+  util::Rng rng(21);
+  const Example small = make_blob_example(cfg, 0, rng);
+  const Example large = make_blob_example(cfg, cfg.num_classes - 1, rng);
+  // Larger-radius blobs put more total mass into the image.
+  EXPECT_GT(large.image.sum(), 2.0 * small.image.sum());
+  EXPECT_EQ(small.label, 0);
+}
+
+TEST(Dataset, TaskDispatchesThroughGenericGenerator) {
+  DatasetConfig cfg;
+  cfg.task = SyntheticTask::kBlobScale;
+  TextureDataset data(cfg, 8, 5);
+  EXPECT_EQ(data.size(), 8);
+  EXPECT_EQ(synthetic_task_name(cfg.task), "blobs");
+  EXPECT_EQ(synthetic_task_name(SyntheticTask::kOrientedTextures),
+            "textures");
+}
+
+TEST(Training, BlobTaskIsLearnable) {
+  DatasetConfig dc;
+  dc.task = SyntheticTask::kBlobScale;
+  dc.height = 12;
+  dc.width = 12;
+  dc.num_classes = 3;
+  TextureDataset train_data(dc, 60, 22);
+  TextureDataset eval_data(dc, 30, 23);
+  util::Rng rng(24);
+  TinyNetConfig nc;
+  nc.in_size = 12;
+  nc.num_classes = 3;
+  nc.stem_channels = 6;
+  nc.block_channels[0] = 8;
+  nc.block_channels[1] = 8;
+  nc.block_channels[2] = 12;
+  auto net = build_tiny_net(nc, core::FuseMode::kHalf, rng);
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 15;
+  const TrainResult result = train_model(*net, train_data, eval_data, tc);
+  EXPECT_GT(result.final_eval_accuracy, 0.45);  // chance = 1/3
+}
+
+
+// --- BatchNorm2d / ResidualBlock -------------------------------------------------
+
+TEST(BatchNorm, NormalizesToZeroMeanUnitVarInTraining) {
+  BatchNorm2d bn("bn", 2);
+  Tensor input = random_tensor(Shape{4, 2, 3, 3}, 30);
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) {
+    input[i] = input[i] * 3.0F + 5.0F;  // shifted, scaled data
+  }
+  const Tensor out = bn.forward(input);
+  // Per channel: mean ~0, var ~1 (gamma=1, beta=0 initially).
+  const std::int64_t spatial = 9;
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t hw = 0; hw < spatial; ++hw) {
+        mean += out[(n * 2 + c) * spatial + hw];
+      }
+    }
+    mean /= 36.0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t hw = 0; hw < spatial; ++hw) {
+        const double d = out[(n * 2 + c) * spatial + hw] - mean;
+        var += d * d;
+      }
+    }
+    var /= 36.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << c;
+    EXPECT_NEAR(var, 1.0, 1e-2) << c;
+  }
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  BatchNorm2d bn("bn", 1, /*momentum=*/1.0);  // running stats = last batch
+  Tensor input = random_tensor(Shape{8, 1, 4, 4}, 31);
+  bn.forward(input);  // training pass records stats
+  bn.set_training(false);
+  // Evaluating the SAME data with running stats reproduces the training
+  // normalization (up to the biased/unbiased variance convention).
+  const Tensor eval_out = bn.forward(input);
+  bn.set_training(true);
+  const Tensor train_out = bn.forward(input);
+  EXPECT_LT(tensor::max_abs_diff(eval_out, train_out), 1e-3F);
+}
+
+TEST(BatchNorm, GradientsMatchFiniteDifference) {
+  BatchNorm2d bn("bn", 2);
+  // Scale gamma/beta away from the trivial point.
+  bn.gamma().value[0] = 1.3F;
+  bn.gamma().value[1] = 0.7F;
+  bn.beta().value[0] = -0.2F;
+  check_gradients(bn, random_tensor(Shape{3, 2, 3, 3}, 32), 5e-2F);
+}
+
+TEST(BatchNorm, WrongChannelCountThrows) {
+  BatchNorm2d bn("bn", 3);
+  EXPECT_THROW(bn.forward(Tensor(Shape{1, 2, 4, 4})), util::Error);
+}
+
+TEST(ResidualBlock, ForwardAddsSkip) {
+  // Body = activation(none) is identity: residual doubles the input.
+  auto body = std::make_unique<ActivationLayer>(Activation::kNone);
+  ResidualBlock block(std::move(body));
+  const Tensor input = random_tensor(Shape{1, 2, 3, 3}, 33);
+  const Tensor out = block.forward(input);
+  for (std::int64_t i = 0; i < input.num_elements(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], 2.0F * input[i]);
+  }
+}
+
+TEST(ResidualBlock, GradientsMatchFiniteDifference) {
+  util::Rng rng(34);
+  auto body = std::make_unique<Sequential>();
+  nn::Conv2dParams p;
+  p.pad_h = 1;
+  p.pad_w = 1;
+  body->add(std::make_unique<Conv2d>("c", 2, 2, 3, 3, p, rng));
+  ResidualBlock block(std::move(body));
+  check_gradients(block, random_tensor(Shape{1, 2, 4, 4}, 35));
+}
+
+TEST(ResidualBlock, ShapeChangingBodyThrows) {
+  util::Rng rng(36);
+  auto body = std::make_unique<Conv2d>("c", 2, 4, 1, 1, nn::Conv2dParams{},
+                                       rng);
+  ResidualBlock block(std::move(body));
+  EXPECT_THROW(block.forward(Tensor(Shape{1, 2, 3, 3})), util::Error);
+}
+
+
+TEST(TinyInvertedNet, BuildsAndTrainsForAllModes) {
+  DatasetConfig dc;
+  dc.height = 12;
+  dc.width = 12;
+  TextureDataset train_data(dc, 48, 40);
+  TextureDataset eval_data(dc, 24, 41);
+  for (core::FuseMode mode :
+       {core::FuseMode::kBaseline, core::FuseMode::kFull,
+        core::FuseMode::kHalf}) {
+    util::Rng rng(42);
+    TinyNetConfig nc;
+    nc.in_size = 12;
+    nc.stem_channels = 8;
+    nc.block_channels[0] = 8;
+    auto net = build_tiny_inverted_net(nc, mode, rng);
+    std::vector<Parameter*> params;
+    net->collect_params(params);
+    EXPECT_GT(params.size(), 10u);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 16;
+    tc.lr = 0.005;
+    const TrainResult result =
+        train_model(*net, train_data, eval_data, tc);
+    EXPECT_LT(result.history.back().train_loss,
+              result.history.front().train_loss + 0.2)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(TinyInvertedNet, ResidualPathPreservesShapes) {
+  util::Rng rng(43);
+  TinyNetConfig nc;
+  nc.in_size = 16;
+  nc.stem_channels = 8;
+  nc.block_channels[0] = 8;
+  for (core::FuseMode mode : {core::FuseMode::kBaseline,
+                              core::FuseMode::kFull}) {
+    auto net = build_tiny_inverted_net(nc, mode, rng);
+    Tensor input = random_tensor(Shape{2, 3, 16, 16}, 44);
+    const Tensor out = net->forward(input);
+    EXPECT_EQ(out.shape(), (Shape{2, nc.num_classes}));
+  }
+}
+
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5, 1);
+  drop.set_training(false);
+  const Tensor input = random_tensor(Shape{2, 3, 4, 4}, 50);
+  EXPECT_TRUE(tensor::allclose(drop.forward(input), input));
+}
+
+TEST(Dropout, TrainingZeroesAboutPFractionAndRescales) {
+  Dropout drop(0.25, 2);
+  Tensor input(Shape{10000});
+  input.fill(1.0F);
+  const Tensor out = drop.forward(input);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    if (out[i] == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(out[i], 1.0F / 0.75F, 1e-5F);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.25, 0.02);
+  // Expectation preserved: mean(out) ~ mean(in).
+  EXPECT_NEAR(out.sum() / 10000.0, 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardUsesTheSameMask) {
+  Dropout drop(0.5, 3);
+  const Tensor input = random_tensor(Shape{64}, 51);
+  const Tensor out = drop.forward(input);
+  Tensor ones(Shape{64});
+  ones.fill(1.0F);
+  const Tensor grad = drop.backward(ones);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    if (out[i] == 0.0F) {
+      EXPECT_EQ(grad[i], 0.0F) << i;
+    } else {
+      EXPECT_NEAR(grad[i], 2.0F, 1e-5F) << i;  // 1/(1-0.5)
+    }
+  }
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(1.0, 1), util::Error);
+  EXPECT_THROW(Dropout(-0.1, 1), util::Error);
+}
+
+}  // namespace
+}  // namespace fuse::train

@@ -1,0 +1,120 @@
+// Tests for the network-level FuSe transform policy.
+#include <gtest/gtest.h>
+
+#include "core/transform.hpp"
+#include "util/check.hpp"
+
+namespace fuse::core {
+namespace {
+
+TEST(VariantNames, MatchPaperLabels) {
+  EXPECT_EQ(network_variant_name(NetworkVariant::kBaseline), "baseline");
+  EXPECT_EQ(network_variant_name(NetworkVariant::kFuseFull), "FuSe-Full");
+  EXPECT_EQ(network_variant_name(NetworkVariant::kFuseHalf), "FuSe-Half");
+  EXPECT_EQ(network_variant_name(NetworkVariant::kFuseFull50),
+            "FuSe-Full-50%");
+  EXPECT_EQ(network_variant_name(NetworkVariant::kFuseHalf50),
+            "FuSe-Half-50%");
+}
+
+TEST(VariantNames, AllVariantsListedInTableOrder) {
+  const auto& variants = all_network_variants();
+  ASSERT_EQ(variants.size(), 5u);
+  EXPECT_EQ(variants[0], NetworkVariant::kBaseline);
+  EXPECT_EQ(variants[4], NetworkVariant::kFuseHalf50);
+}
+
+TEST(FuseModeVariant, MapsToDKnob) {
+  EXPECT_EQ(fuse_mode_variant(FuseMode::kFull), FuseVariant::kFull);
+  EXPECT_EQ(fuse_mode_variant(FuseMode::kHalf), FuseVariant::kHalf);
+  EXPECT_THROW(fuse_mode_variant(FuseMode::kBaseline), util::Error);
+}
+
+TEST(UniformModes, FillsEverySlot) {
+  const auto modes = uniform_modes(5, FuseMode::kFull);
+  EXPECT_EQ(modes.size(), 5u);
+  for (FuseMode m : modes) {
+    EXPECT_EQ(m, FuseMode::kFull);
+  }
+}
+
+TEST(TopHalfModes, PicksLargestSavings) {
+  const std::vector<double> savings = {10.0, 50.0, 5.0, 40.0};
+  const auto modes = top_half_modes(savings, FuseMode::kHalf);
+  ASSERT_EQ(modes.size(), 4u);
+  EXPECT_EQ(modes[0], FuseMode::kBaseline);
+  EXPECT_EQ(modes[1], FuseMode::kHalf);
+  EXPECT_EQ(modes[2], FuseMode::kBaseline);
+  EXPECT_EQ(modes[3], FuseMode::kHalf);
+}
+
+TEST(TopHalfModes, OddCountRoundsUp) {
+  const std::vector<double> savings = {3.0, 1.0, 2.0};
+  const auto modes = top_half_modes(savings, FuseMode::kFull);
+  int replaced = 0;
+  for (FuseMode m : modes) {
+    if (m == FuseMode::kFull) {
+      ++replaced;
+    }
+  }
+  EXPECT_EQ(replaced, 2);  // ceil(3/2)
+  EXPECT_EQ(modes[0], FuseMode::kFull);
+  EXPECT_EQ(modes[2], FuseMode::kFull);
+  EXPECT_EQ(modes[1], FuseMode::kBaseline);
+}
+
+TEST(TopHalfModes, QuotaFilledEvenWithNegativeSavings) {
+  // The paper replaces exactly 50%; slots with negative savings fill the
+  // quota last.
+  const std::vector<double> savings = {-5.0, -1.0};
+  const auto modes = top_half_modes(savings, FuseMode::kFull);
+  EXPECT_EQ(modes[0], FuseMode::kBaseline);
+  EXPECT_EQ(modes[1], FuseMode::kFull);
+}
+
+TEST(TopHalfModes, StableOnTies) {
+  const std::vector<double> savings = {1.0, 1.0, 1.0, 1.0};
+  const auto modes = top_half_modes(savings, FuseMode::kFull);
+  // stable_sort keeps index order: first two slots replaced.
+  EXPECT_EQ(modes[0], FuseMode::kFull);
+  EXPECT_EQ(modes[1], FuseMode::kFull);
+  EXPECT_EQ(modes[2], FuseMode::kBaseline);
+  EXPECT_EQ(modes[3], FuseMode::kBaseline);
+}
+
+TEST(TopHalfModes, RejectsBaselineMode) {
+  EXPECT_THROW(top_half_modes({1.0}, FuseMode::kBaseline), util::Error);
+}
+
+TEST(ModesForVariant, BaselineNeedsNoSavings) {
+  const auto modes =
+      modes_for_variant(NetworkVariant::kBaseline, 3, {});
+  for (FuseMode m : modes) {
+    EXPECT_EQ(m, FuseMode::kBaseline);
+  }
+}
+
+TEST(ModesForVariant, FullReplacesEverything) {
+  const auto modes = modes_for_variant(NetworkVariant::kFuseFull, 4, {});
+  for (FuseMode m : modes) {
+    EXPECT_EQ(m, FuseMode::kFull);
+  }
+}
+
+TEST(ModesForVariant, FiftyPercentNeedsSavings) {
+  EXPECT_THROW(modes_for_variant(NetworkVariant::kFuseFull50, 3, {}),
+               util::Error);
+  const auto modes = modes_for_variant(NetworkVariant::kFuseHalf50, 3,
+                                       {1.0, 3.0, 2.0});
+  int replaced = 0;
+  for (FuseMode m : modes) {
+    if (m == FuseMode::kHalf) {
+      ++replaced;
+    }
+  }
+  EXPECT_EQ(replaced, 2);
+  EXPECT_EQ(modes[1], FuseMode::kHalf);
+}
+
+}  // namespace
+}  // namespace fuse::core

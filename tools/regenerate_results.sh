@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, then regenerates every
+# table/figure with CSV output into results/.
+#
+# Usage: tools/regenerate_results.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RESULTS_DIR="$REPO_ROOT/results"
+
+cd "$REPO_ROOT"
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+mkdir -p "$RESULTS_DIR"
+cd "$RESULTS_DIR"
+for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue  # skip cmake artifacts
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  # bench_kernels (google-benchmark) and bench_ria_analysis take no --csv.
+  if "$bench" --help 2>&1 | grep -q -- '--csv'; then
+    "$bench" --csv | tee "$name.txt"
+  else
+    "$bench" | tee "$name.txt"
+  fi
+  echo
+done
+
+echo "results written to $RESULTS_DIR"
