@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aspect.dir/bench_ablation_aspect.cpp.o"
+  "CMakeFiles/bench_ablation_aspect.dir/bench_ablation_aspect.cpp.o.d"
+  "bench_ablation_aspect"
+  "bench_ablation_aspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

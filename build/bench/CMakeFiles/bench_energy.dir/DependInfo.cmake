@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_energy.cpp" "bench/CMakeFiles/bench_energy.dir/bench_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_energy.dir/bench_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nos/CMakeFiles/fuse_nos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fuse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/nets/CMakeFiles/fuse_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/fuse_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/fuse_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ria/CMakeFiles/fuse_ria.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fuse_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

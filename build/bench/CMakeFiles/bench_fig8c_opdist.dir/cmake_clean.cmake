@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_opdist.dir/bench_fig8c_opdist.cpp.o"
+  "CMakeFiles/bench_fig8c_opdist.dir/bench_fig8c_opdist.cpp.o.d"
+  "bench_fig8c_opdist"
+  "bench_fig8c_opdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_opdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_resnet.dir/bench_intro_resnet.cpp.o"
+  "CMakeFiles/bench_intro_resnet.dir/bench_intro_resnet.cpp.o.d"
+  "bench_intro_resnet"
+  "bench_intro_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

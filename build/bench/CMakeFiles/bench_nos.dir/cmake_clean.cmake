@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nos.dir/bench_nos.cpp.o"
+  "CMakeFiles/bench_nos.dir/bench_nos.cpp.o.d"
+  "bench_nos"
+  "bench_nos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resolution.dir/bench_resolution.cpp.o"
+  "CMakeFiles/bench_resolution.dir/bench_resolution.cpp.o.d"
+  "bench_resolution"
+  "bench_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_width_mult.dir/bench_width_mult.cpp.o"
+  "CMakeFiles/bench_width_mult.dir/bench_width_mult.cpp.o.d"
+  "bench_width_mult"
+  "bench_width_mult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_width_mult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_network.dir/export_network.cpp.o"
+  "CMakeFiles/export_network.dir/export_network.cpp.o.d"
+  "export_network"
+  "export_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

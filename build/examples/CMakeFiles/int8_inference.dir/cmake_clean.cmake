@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int8_inference.dir/int8_inference.cpp.o"
+  "CMakeFiles/int8_inference.dir/int8_inference.cpp.o.d"
+  "int8_inference"
+  "int8_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int8_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_search.dir/operator_search.cpp.o"
+  "CMakeFiles/operator_search.dir/operator_search.cpp.o.d"
+  "operator_search"
+  "operator_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_heatmap.dir/pe_heatmap.cpp.o"
+  "CMakeFiles/pe_heatmap.dir/pe_heatmap.cpp.o.d"
+  "pe_heatmap"
+  "pe_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_timeline.dir/schedule_timeline.cpp.o"
+  "CMakeFiles/schedule_timeline.dir/schedule_timeline.cpp.o.d"
+  "schedule_timeline"
+  "schedule_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_layer.dir/simulate_layer.cpp.o"
+  "CMakeFiles/simulate_layer.dir/simulate_layer.cpp.o.d"
+  "simulate_layer"
+  "simulate_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_synthetic.dir/train_synthetic.cpp.o"
+  "CMakeFiles/train_synthetic.dir/train_synthetic.cpp.o.d"
+  "train_synthetic"
+  "train_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

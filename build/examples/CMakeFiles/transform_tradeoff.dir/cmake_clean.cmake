@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_tradeoff.dir/transform_tradeoff.cpp.o"
+  "CMakeFiles/transform_tradeoff.dir/transform_tradeoff.cpp.o.d"
+  "transform_tradeoff"
+  "transform_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fuseconv.cpp" "src/core/CMakeFiles/fuse_core.dir/fuseconv.cpp.o" "gcc" "src/core/CMakeFiles/fuse_core.dir/fuseconv.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/core/CMakeFiles/fuse_core.dir/transform.cpp.o" "gcc" "src/core/CMakeFiles/fuse_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_core.dir/fuseconv.cpp.o"
+  "CMakeFiles/fuse_core.dir/fuseconv.cpp.o.d"
+  "CMakeFiles/fuse_core.dir/transform.cpp.o"
+  "CMakeFiles/fuse_core.dir/transform.cpp.o.d"
+  "libfuse_core.a"
+  "libfuse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

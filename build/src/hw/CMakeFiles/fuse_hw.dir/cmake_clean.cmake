@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_hw.dir/area_power.cpp.o"
+  "CMakeFiles/fuse_hw.dir/area_power.cpp.o.d"
+  "libfuse_hw.a"
+  "libfuse_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

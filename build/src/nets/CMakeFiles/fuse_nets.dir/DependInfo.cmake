@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nets/builder.cpp" "src/nets/CMakeFiles/fuse_nets.dir/builder.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/builder.cpp.o.d"
+  "/root/repo/src/nets/mnasnet.cpp" "src/nets/CMakeFiles/fuse_nets.dir/mnasnet.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/mnasnet.cpp.o.d"
+  "/root/repo/src/nets/mobilenet_v1.cpp" "src/nets/CMakeFiles/fuse_nets.dir/mobilenet_v1.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/mobilenet_v1.cpp.o.d"
+  "/root/repo/src/nets/mobilenet_v2.cpp" "src/nets/CMakeFiles/fuse_nets.dir/mobilenet_v2.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/mobilenet_v2.cpp.o.d"
+  "/root/repo/src/nets/mobilenet_v3.cpp" "src/nets/CMakeFiles/fuse_nets.dir/mobilenet_v3.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/mobilenet_v3.cpp.o.d"
+  "/root/repo/src/nets/resnet.cpp" "src/nets/CMakeFiles/fuse_nets.dir/resnet.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/resnet.cpp.o.d"
+  "/root/repo/src/nets/serialize.cpp" "src/nets/CMakeFiles/fuse_nets.dir/serialize.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/serialize.cpp.o.d"
+  "/root/repo/src/nets/zoo.cpp" "src/nets/CMakeFiles/fuse_nets.dir/zoo.cpp.o" "gcc" "src/nets/CMakeFiles/fuse_nets.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fuse_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

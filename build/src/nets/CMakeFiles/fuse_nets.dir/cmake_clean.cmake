@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_nets.dir/builder.cpp.o"
+  "CMakeFiles/fuse_nets.dir/builder.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/mnasnet.cpp.o"
+  "CMakeFiles/fuse_nets.dir/mnasnet.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/mobilenet_v1.cpp.o"
+  "CMakeFiles/fuse_nets.dir/mobilenet_v1.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/mobilenet_v2.cpp.o"
+  "CMakeFiles/fuse_nets.dir/mobilenet_v2.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/mobilenet_v3.cpp.o"
+  "CMakeFiles/fuse_nets.dir/mobilenet_v3.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/resnet.cpp.o"
+  "CMakeFiles/fuse_nets.dir/resnet.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/serialize.cpp.o"
+  "CMakeFiles/fuse_nets.dir/serialize.cpp.o.d"
+  "CMakeFiles/fuse_nets.dir/zoo.cpp.o"
+  "CMakeFiles/fuse_nets.dir/zoo.cpp.o.d"
+  "libfuse_nets.a"
+  "libfuse_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/fuse_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/fuse_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/fuse_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/fuse_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/fuse_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/fuse_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/quantized.cpp" "src/nn/CMakeFiles/fuse_nn.dir/quantized.cpp.o" "gcc" "src/nn/CMakeFiles/fuse_nn.dir/quantized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

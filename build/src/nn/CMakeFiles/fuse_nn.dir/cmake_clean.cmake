@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_nn.dir/activations.cpp.o"
+  "CMakeFiles/fuse_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fuse_nn.dir/layer.cpp.o"
+  "CMakeFiles/fuse_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/fuse_nn.dir/ops.cpp.o"
+  "CMakeFiles/fuse_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/fuse_nn.dir/quantized.cpp.o"
+  "CMakeFiles/fuse_nn.dir/quantized.cpp.o.d"
+  "libfuse_nn.a"
+  "libfuse_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

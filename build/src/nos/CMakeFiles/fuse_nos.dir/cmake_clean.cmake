@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_nos.dir/search.cpp.o"
+  "CMakeFiles/fuse_nos.dir/search.cpp.o.d"
+  "libfuse_nos.a"
+  "libfuse_nos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_nos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

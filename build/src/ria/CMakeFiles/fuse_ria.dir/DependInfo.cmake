@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ria/algorithms.cpp" "src/ria/CMakeFiles/fuse_ria.dir/algorithms.cpp.o" "gcc" "src/ria/CMakeFiles/fuse_ria.dir/algorithms.cpp.o.d"
+  "/root/repo/src/ria/ria.cpp" "src/ria/CMakeFiles/fuse_ria.dir/ria.cpp.o" "gcc" "src/ria/CMakeFiles/fuse_ria.dir/ria.cpp.o.d"
+  "/root/repo/src/ria/schedule.cpp" "src/ria/CMakeFiles/fuse_ria.dir/schedule.cpp.o" "gcc" "src/ria/CMakeFiles/fuse_ria.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_ria.dir/algorithms.cpp.o"
+  "CMakeFiles/fuse_ria.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fuse_ria.dir/ria.cpp.o"
+  "CMakeFiles/fuse_ria.dir/ria.cpp.o.d"
+  "CMakeFiles/fuse_ria.dir/schedule.cpp.o"
+  "CMakeFiles/fuse_ria.dir/schedule.cpp.o.d"
+  "libfuse_ria.a"
+  "libfuse_ria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_ria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

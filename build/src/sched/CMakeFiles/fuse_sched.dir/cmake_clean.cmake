@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_sched.dir/execute.cpp.o"
+  "CMakeFiles/fuse_sched.dir/execute.cpp.o.d"
+  "CMakeFiles/fuse_sched.dir/latency.cpp.o"
+  "CMakeFiles/fuse_sched.dir/latency.cpp.o.d"
+  "CMakeFiles/fuse_sched.dir/report.cpp.o"
+  "CMakeFiles/fuse_sched.dir/report.cpp.o.d"
+  "CMakeFiles/fuse_sched.dir/timeline.cpp.o"
+  "CMakeFiles/fuse_sched.dir/timeline.cpp.o.d"
+  "libfuse_sched.a"
+  "libfuse_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

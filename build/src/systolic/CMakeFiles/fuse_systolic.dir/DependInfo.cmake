@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/cycle_model.cpp" "src/systolic/CMakeFiles/fuse_systolic.dir/cycle_model.cpp.o" "gcc" "src/systolic/CMakeFiles/fuse_systolic.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/systolic/memory.cpp" "src/systolic/CMakeFiles/fuse_systolic.dir/memory.cpp.o" "gcc" "src/systolic/CMakeFiles/fuse_systolic.dir/memory.cpp.o.d"
+  "/root/repo/src/systolic/sim.cpp" "src/systolic/CMakeFiles/fuse_systolic.dir/sim.cpp.o" "gcc" "src/systolic/CMakeFiles/fuse_systolic.dir/sim.cpp.o.d"
+  "/root/repo/src/systolic/trace.cpp" "src/systolic/CMakeFiles/fuse_systolic.dir/trace.cpp.o" "gcc" "src/systolic/CMakeFiles/fuse_systolic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_systolic.dir/cycle_model.cpp.o"
+  "CMakeFiles/fuse_systolic.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/fuse_systolic.dir/memory.cpp.o"
+  "CMakeFiles/fuse_systolic.dir/memory.cpp.o.d"
+  "CMakeFiles/fuse_systolic.dir/sim.cpp.o"
+  "CMakeFiles/fuse_systolic.dir/sim.cpp.o.d"
+  "CMakeFiles/fuse_systolic.dir/trace.cpp.o"
+  "CMakeFiles/fuse_systolic.dir/trace.cpp.o.d"
+  "libfuse_systolic.a"
+  "libfuse_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_tensor.dir/half.cpp.o"
+  "CMakeFiles/fuse_tensor.dir/half.cpp.o.d"
+  "CMakeFiles/fuse_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/fuse_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/fuse_tensor.dir/quantize.cpp.o"
+  "CMakeFiles/fuse_tensor.dir/quantize.cpp.o.d"
+  "CMakeFiles/fuse_tensor.dir/shape.cpp.o"
+  "CMakeFiles/fuse_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/fuse_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fuse_tensor.dir/tensor.cpp.o.d"
+  "libfuse_tensor.a"
+  "libfuse_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

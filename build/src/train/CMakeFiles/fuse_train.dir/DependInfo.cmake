@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/dataset.cpp" "src/train/CMakeFiles/fuse_train.dir/dataset.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/dataset.cpp.o.d"
+  "/root/repo/src/train/fuse_module.cpp" "src/train/CMakeFiles/fuse_train.dir/fuse_module.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/fuse_module.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/train/CMakeFiles/fuse_train.dir/loss.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/loss.cpp.o.d"
+  "/root/repo/src/train/models.cpp" "src/train/CMakeFiles/fuse_train.dir/models.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/models.cpp.o.d"
+  "/root/repo/src/train/module.cpp" "src/train/CMakeFiles/fuse_train.dir/module.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/module.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "src/train/CMakeFiles/fuse_train.dir/optimizer.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/optimizer.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/fuse_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/fuse_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fuse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_train.dir/dataset.cpp.o"
+  "CMakeFiles/fuse_train.dir/dataset.cpp.o.d"
+  "CMakeFiles/fuse_train.dir/fuse_module.cpp.o"
+  "CMakeFiles/fuse_train.dir/fuse_module.cpp.o.d"
+  "CMakeFiles/fuse_train.dir/loss.cpp.o"
+  "CMakeFiles/fuse_train.dir/loss.cpp.o.d"
+  "CMakeFiles/fuse_train.dir/models.cpp.o"
+  "CMakeFiles/fuse_train.dir/models.cpp.o.d"
+  "CMakeFiles/fuse_train.dir/module.cpp.o"
+  "CMakeFiles/fuse_train.dir/module.cpp.o.d"
+  "CMakeFiles/fuse_train.dir/optimizer.cpp.o"
+  "CMakeFiles/fuse_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fuse_train.dir/trainer.cpp.o"
+  "CMakeFiles/fuse_train.dir/trainer.cpp.o.d"
+  "libfuse_train.a"
+  "libfuse_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

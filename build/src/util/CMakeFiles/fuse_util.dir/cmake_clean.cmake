@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_util.dir/check.cpp.o"
+  "CMakeFiles/fuse_util.dir/check.cpp.o.d"
+  "CMakeFiles/fuse_util.dir/cli.cpp.o"
+  "CMakeFiles/fuse_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fuse_util.dir/csv.cpp.o"
+  "CMakeFiles/fuse_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fuse_util.dir/rng.cpp.o"
+  "CMakeFiles/fuse_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fuse_util.dir/strings.cpp.o"
+  "CMakeFiles/fuse_util.dir/strings.cpp.o.d"
+  "CMakeFiles/fuse_util.dir/table.cpp.o"
+  "CMakeFiles/fuse_util.dir/table.cpp.o.d"
+  "libfuse_util.a"
+  "libfuse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execute.dir/test_execute.cpp.o"
+  "CMakeFiles/test_execute.dir/test_execute.cpp.o.d"
+  "test_execute"
+  "test_execute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuseconv.dir/test_fuseconv.cpp.o"
+  "CMakeFiles/test_fuseconv.dir/test_fuseconv.cpp.o.d"
+  "test_fuseconv"
+  "test_fuseconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuseconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nos.dir/test_nos.cpp.o"
+  "CMakeFiles/test_nos.dir/test_nos.cpp.o.d"
+  "test_nos"
+  "test_nos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

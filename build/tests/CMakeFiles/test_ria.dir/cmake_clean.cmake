@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ria.dir/test_ria.cpp.o"
+  "CMakeFiles/test_ria.dir/test_ria.cpp.o.d"
+  "test_ria"
+  "test_ria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

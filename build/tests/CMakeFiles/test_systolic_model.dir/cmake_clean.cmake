@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_model.dir/test_systolic_model.cpp.o"
+  "CMakeFiles/test_systolic_model.dir/test_systolic_model.cpp.o.d"
+  "test_systolic_model"
+  "test_systolic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_sim.dir/test_systolic_sim.cpp.o"
+  "CMakeFiles/test_systolic_sim.dir/test_systolic_sim.cpp.o.d"
+  "test_systolic_sim"
+  "test_systolic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
