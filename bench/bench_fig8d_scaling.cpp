@@ -2,11 +2,13 @@
 // size. Paper claims: speedup increases with array size, and the larger,
 // older MobileNet-V1 gains more on big arrays than MobileNet-V3-Small.
 //
-// Usage: bench_fig8d_scaling [--variant=half] [--csv]
+// Usage: bench_fig8d_scaling [--variant=half] [--csv] [--threads=N]
+//        [--no-cache]
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
-#include "sched/report.hpp"
+#include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -18,6 +20,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_string("variant", "half", "full|half");
   flags.add_bool("csv", false, "also write bench_fig8d.csv");
+  sched::add_sweep_flags(flags);
   flags.parse(argc, argv);
 
   const core::NetworkVariant variant =
@@ -35,13 +38,28 @@ int main(int argc, char** argv) {
   for (std::int64_t s : sizes) {
     header.push_back(std::to_string(s) + "x" + std::to_string(s));
   }
+  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
+  const auto networks = nets::paper_networks();
+  std::vector<std::vector<sched::ScalingPoint>> sweeps(networks.size());
+  const auto start = std::chrono::steady_clock::now();
+  // One task per (network, size) cell: the engine parallelizes the sizes
+  // inside scaling_sweep, and the networks fan across the outer loop.
+  engine.pool().parallel_for(
+      static_cast<std::int64_t>(networks.size()), [&](std::int64_t i) {
+        const std::size_t n = static_cast<std::size_t>(i);
+        sweeps[n] = engine.scaling_sweep(networks[n], variant, sizes);
+      });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
   util::TablePrinter table(header);
   std::vector<std::vector<std::string>> csv_rows;
-  for (nets::NetworkId id : nets::paper_networks()) {
-    const auto points = sched::scaling_sweep(id, variant, sizes);
-    std::vector<std::string> row = {nets::network_name(id)};
+  for (std::size_t n = 0; n < networks.size(); ++n) {
+    std::vector<std::string> row = {nets::network_name(networks[n])};
     std::vector<std::string> csv_row = row;
-    for (const auto& p : points) {
+    for (const auto& p : sweeps[n]) {
       row.push_back(util::fixed(p.speedup, 2) + "x");
       csv_row.push_back(util::fixed(p.speedup, 3));
     }
@@ -49,6 +67,7 @@ int main(int argc, char** argv) {
     csv_rows.push_back(csv_row);
   }
   table.print(std::cout);
+  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
 
   if (flags.get_bool("csv")) {
     util::CsvWriter csv("bench_fig8d.csv");

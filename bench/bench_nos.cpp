@@ -6,11 +6,13 @@
 //   max-params  s.t. latency in the band between the all-Half and
 //       all-Full latencies (the regime where operators genuinely compete)
 //
-// Usage: bench_nos [--size=64] [--csv]
+// Usage: bench_nos [--size=64] [--csv] [--threads=N] [--no-cache]
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "nos/search.hpp"
+#include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_bool("csv", false, "also write bench_nos.csv");
+  sched::add_sweep_flags(flags);
   flags.parse(argc, argv);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
@@ -30,45 +33,70 @@ int main(int argc, char** argv) {
       "F=FuSe-Full, H=FuSe-Half\n\n",
       cfg.to_string().c_str());
 
+  struct NetworkSearch {
+    nos::NosResult min_latency;
+    nos::NosResult max_params;
+    double mid_band_ratio = 0.0;
+  };
+  const std::vector<nets::NetworkId> networks = nets::paper_networks();
+  std::vector<NetworkSearch> searches(networks.size());
+  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
+  const auto start = std::chrono::steady_clock::now();
+  // The per-network searches are independent; one task runs both budget
+  // directions for its network.
+  engine.pool().parallel_for(
+      static_cast<std::int64_t>(networks.size()), [&](std::int64_t i) {
+        const nets::NetworkId id = networks[static_cast<std::size_t>(i)];
+        NetworkSearch& s = searches[static_cast<std::size_t>(i)];
+        nos::NosConfig config;
+        config.max_params_ratio = 1.05;
+        s.min_latency = nos::search_operators(id, cfg, config);
+
+        // Mid-band latency budget: halfway between all-Half and all-Full.
+        const double half_ratio =
+            1.0 / engine.speedup_vs_baseline(
+                      id, core::NetworkVariant::kFuseHalf, cfg);
+        const double full_ratio =
+            1.0 / engine.speedup_vs_baseline(
+                      id, core::NetworkVariant::kFuseFull, cfg);
+        nos::NosLatencyBudgetConfig budget;
+        budget.max_cycles_ratio = 0.5 * (half_ratio + full_ratio);
+        s.mid_band_ratio = budget.max_cycles_ratio;
+        s.max_params = nos::search_capacity(id, cfg, budget);
+      });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
   util::TablePrinter table({"Network", "Objective", "Params", "Speedup",
                             "Per-slot assignment"});
   std::vector<std::vector<std::string>> csv_rows;
-  for (nets::NetworkId id : nets::paper_networks()) {
-    {
-      nos::NosConfig config;
-      config.max_params_ratio = 1.05;
-      const nos::NosResult r = nos::search_operators(id, cfg, config);
-      table.add_row({nets::network_name(id), "min latency @ 1.05x params",
-                     util::fixed(r.params_ratio, 3) + "x",
-                     util::fixed(r.speedup, 2) + "x", r.modes_string()});
-      csv_rows.push_back({nets::network_name(id), "min_latency",
-                          util::fixed(r.params_ratio, 4),
-                          util::fixed(r.speedup, 3), r.modes_string()});
-    }
-    {
-      // Mid-band latency budget: halfway between all-Half and all-Full.
-      const double half_ratio =
-          1.0 / sched::speedup_vs_baseline(
-                    id, core::NetworkVariant::kFuseHalf, cfg);
-      const double full_ratio =
-          1.0 / sched::speedup_vs_baseline(
-                    id, core::NetworkVariant::kFuseFull, cfg);
-      nos::NosLatencyBudgetConfig config;
-      config.max_cycles_ratio = 0.5 * (half_ratio + full_ratio);
-      const nos::NosResult r = nos::search_capacity(id, cfg, config);
-      table.add_row({nets::network_name(id),
-                     "max params @ " +
-                         util::fixed(config.max_cycles_ratio, 3) +
-                         "x latency",
-                     util::fixed(r.params_ratio, 3) + "x",
-                     util::fixed(r.speedup, 2) + "x", r.modes_string()});
-      csv_rows.push_back({nets::network_name(id), "max_params",
-                          util::fixed(r.params_ratio, 4),
-                          util::fixed(r.speedup, 3), r.modes_string()});
-    }
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    const nets::NetworkId id = networks[i];
+    const NetworkSearch& s = searches[i];
+    table.add_row({nets::network_name(id), "min latency @ 1.05x params",
+                   util::fixed(s.min_latency.params_ratio, 3) + "x",
+                   util::fixed(s.min_latency.speedup, 2) + "x",
+                   s.min_latency.modes_string()});
+    csv_rows.push_back({nets::network_name(id), "min_latency",
+                        util::fixed(s.min_latency.params_ratio, 4),
+                        util::fixed(s.min_latency.speedup, 3),
+                        s.min_latency.modes_string()});
+    table.add_row({nets::network_name(id),
+                   "max params @ " + util::fixed(s.mid_band_ratio, 3) +
+                       "x latency",
+                   util::fixed(s.max_params.params_ratio, 3) + "x",
+                   util::fixed(s.max_params.speedup, 2) + "x",
+                   s.max_params.modes_string()});
+    csv_rows.push_back({nets::network_name(id), "max_params",
+                        util::fixed(s.max_params.params_ratio, 4),
+                        util::fixed(s.max_params.speedup, 3),
+                        s.max_params.modes_string()});
     table.add_separator();
   }
   table.print(std::cout);
+  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
   std::printf(
       "\nmixed assignments in the capacity rows are the point: operator "
       "choice is a\nper-layer decision, which is what the paper's NOS "

@@ -5,12 +5,13 @@
 // networks stop scaling (under-utilization), FuSe variants keep converting
 // silicon into speed through 128x128.
 //
-// Usage: bench_pareto [--net=v2] [--csv]
+// Usage: bench_pareto [--net=v2] [--csv] [--threads=N] [--no-cache]
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "hw/area_power.hpp"
-#include "sched/latency.hpp"
+#include "sched/sweep.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_string("net", "v2", "network: v1|v2|v3s|v3l|mnas");
   flags.add_bool("csv", false, "also write bench_pareto.csv");
+  sched::add_sweep_flags(flags);
   flags.parse(argc, argv);
 
   const nets::NetworkId id = parse_net(flags.get_string("net"));
@@ -51,35 +53,54 @@ int main(int argc, char** argv) {
       "(700 MHz, 45 nm model)\n\n",
       nets::network_name(id).c_str());
 
+  const std::vector<std::int64_t> sizes = {8, 16, 32, 64, 128};
+  struct Point {
+    hw::ArrayHwReport hw;
+    double base_inf_s = 0.0;
+    double fuse_inf_s = 0.0;
+  };
+  std::vector<Point> points(sizes.size());
+  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
+  const auto start = std::chrono::steady_clock::now();
+  engine.pool().parallel_for(
+      static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
+        const std::size_t s = static_cast<std::size_t>(i);
+        const auto cfg = systolic::square_array(sizes[s]);
+        const double hz = cfg.freq_mhz * 1e6;
+        points[s].hw = hw::array_hw(cfg, hw_model);
+        points[s].base_inf_s =
+            hz / static_cast<double>(engine.network_cycles(baseline, cfg));
+        points[s].fuse_inf_s =
+            hz / static_cast<double>(engine.network_cycles(fused, cfg));
+      });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
   util::TablePrinter table({"Array", "Area (mm^2)", "Power (W)",
                             "base inf/s", "FuSe inf/s", "FuSe inf/s/mm^2",
                             "FuSe inf/J"});
   std::vector<std::vector<std::string>> csv_rows;
-  for (std::int64_t size : {8, 16, 32, 64, 128}) {
-    auto cfg = systolic::square_array(size);
-    const hw::ArrayHwReport hw_report = hw::array_hw(cfg, hw_model);
-    const double hz = cfg.freq_mhz * 1e6;
-    const double base_inf_s =
-        hz / static_cast<double>(
-                 sched::network_latency(baseline, cfg).total_cycles);
-    const double fuse_inf_s =
-        hz / static_cast<double>(
-                 sched::network_latency(fused, cfg).total_cycles);
-    const double watts = hw_report.power_mw / 1e3;
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const std::int64_t size = sizes[s];
+    const Point& p = points[s];
+    const double watts = p.hw.power_mw / 1e3;
     table.add_row({std::to_string(size) + "x" + std::to_string(size),
-                   util::fixed(hw_report.area_mm2, 2),
+                   util::fixed(p.hw.area_mm2, 2),
                    util::fixed(watts, 2),
-                   util::fixed(base_inf_s, 0),
-                   util::fixed(fuse_inf_s, 0),
-                   util::fixed(fuse_inf_s / hw_report.area_mm2, 0),
-                   util::fixed(fuse_inf_s / watts, 0)});
+                   util::fixed(p.base_inf_s, 0),
+                   util::fixed(p.fuse_inf_s, 0),
+                   util::fixed(p.fuse_inf_s / p.hw.area_mm2, 0),
+                   util::fixed(p.fuse_inf_s / watts, 0)});
     csv_rows.push_back({std::to_string(size),
-                        util::fixed(hw_report.area_mm2, 3),
+                        util::fixed(p.hw.area_mm2, 3),
                         util::fixed(watts, 3),
-                        util::fixed(base_inf_s, 1),
-                        util::fixed(fuse_inf_s, 1)});
+                        util::fixed(p.base_inf_s, 1),
+                        util::fixed(p.fuse_inf_s, 1)});
   }
   table.print(std::cout);
+  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
   std::printf(
       "\nFuSe keeps converting PEs into throughput where the baseline "
       "saturates; the\nthroughput-per-area optimum moves toward smaller "

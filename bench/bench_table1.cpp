@@ -2,11 +2,12 @@
 // the training substitution), MACs, params, and speedup on a 64x64
 // output-stationary systolic array for 5 networks x 5 variants.
 //
-// Usage: bench_table1 [--size=64] [--csv]
+// Usage: bench_table1 [--size=64] [--csv] [--threads=N] [--no-cache]
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
-#include "sched/report.hpp"
+#include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_bool("csv", false, "also write bench_table1.csv");
+  sched::add_sweep_flags(flags);
   flags.parse(argc, argv);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
@@ -27,7 +29,13 @@ int main(int argc, char** argv) {
       "(accuracy column = paper-reported ImageNet top-1; this repo's "
       "synthetic-accuracy study is bench_accuracy_synth)\n\n");
 
-  const auto rows = sched::table1_rows(cfg);
+  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
+  const auto start = std::chrono::steady_clock::now();
+  const auto rows = engine.table1_rows(cfg);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
 
   util::TablePrinter table({"Network", "Acc% (paper)", "MACs(M)",
                             "paper", "Params(M)", "paper", "Speedup",
@@ -52,6 +60,7 @@ int main(int argc, char** argv) {
                    util::fixed(row.paper_speedup, 2) + "x"});
   }
   table.print(std::cout);
+  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
 
   if (flags.get_bool("csv")) {
     util::CsvWriter csv("bench_table1.csv");

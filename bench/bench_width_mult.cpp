@@ -5,11 +5,12 @@
 // the array's under-utilization even more, so the speedup should not decay
 // at small alpha.
 //
-// Usage: bench_width_mult [--size=64] [--csv]
+// Usage: bench_width_mult [--size=64] [--csv] [--threads=N] [--no-cache]
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
-#include "sched/latency.hpp"
+#include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -21,54 +22,77 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_bool("csv", false, "also write bench_width_mult.csv");
+  sched::add_sweep_flags(flags);
   flags.parse(argc, argv);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
-  const double alphas[] = {0.25, 0.5, 0.75, 1.0};
+  const std::vector<nets::NetworkId> networks = {
+      nets::NetworkId::kMobileNetV1, nets::NetworkId::kMobileNetV2};
+  const std::vector<double> alphas = {0.25, 0.5, 0.75, 1.0};
 
   std::printf(
       "Width-multiplier sweep on %s — FuSe speedups across the MobileNet "
       "family\n\n",
       cfg.to_string().c_str());
 
+  struct Point {
+    std::uint64_t macs = 0;
+    std::uint64_t params = 0;
+    double full_speedup = 0.0;
+    double half_speedup = 0.0;
+  };
+  const std::int64_t cells =
+      static_cast<std::int64_t>(networks.size() * alphas.size());
+  std::vector<Point> points(static_cast<std::size_t>(cells));
+  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
+  const auto start = std::chrono::steady_clock::now();
+  engine.pool().parallel_for(cells, [&](std::int64_t flat) {
+    const std::size_t n = static_cast<std::size_t>(flat) / alphas.size();
+    const double alpha =
+        alphas[static_cast<std::size_t>(flat) % alphas.size()];
+    const nets::NetworkId id = networks[n];
+    const int slots = nets::num_fuse_slots(id);
+    const auto baseline = nets::build_network_scaled(id, alpha);
+    const auto full = nets::build_network_scaled(
+        id, alpha, core::uniform_modes(slots, core::FuseMode::kFull));
+    const auto half = nets::build_network_scaled(
+        id, alpha, core::uniform_modes(slots, core::FuseMode::kHalf));
+    const std::uint64_t base_cycles = engine.network_cycles(baseline, cfg);
+    Point& p = points[static_cast<std::size_t>(flat)];
+    p.macs = baseline.total_macs();
+    p.params = baseline.total_params();
+    p.full_speedup = static_cast<double>(base_cycles) /
+                     static_cast<double>(engine.network_cycles(full, cfg));
+    p.half_speedup = static_cast<double>(base_cycles) /
+                     static_cast<double>(engine.network_cycles(half, cfg));
+  });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
   util::TablePrinter table({"Network", "alpha", "MACs (M)", "Params (M)",
                             "Full speedup", "Half speedup"});
   std::vector<std::vector<std::string>> csv_rows;
-  for (nets::NetworkId id :
-       {nets::NetworkId::kMobileNetV1, nets::NetworkId::kMobileNetV2}) {
-    const int slots = nets::num_fuse_slots(id);
-    for (double alpha : alphas) {
-      const auto baseline = nets::build_network_scaled(id, alpha);
-      const auto full = nets::build_network_scaled(
-          id, alpha, core::uniform_modes(slots, core::FuseMode::kFull));
-      const auto half = nets::build_network_scaled(
-          id, alpha, core::uniform_modes(slots, core::FuseMode::kHalf));
-      const std::uint64_t base_cycles =
-          sched::network_latency(baseline, cfg).total_cycles;
-      const double full_speedup =
-          static_cast<double>(base_cycles) /
-          static_cast<double>(
-              sched::network_latency(full, cfg).total_cycles);
-      const double half_speedup =
-          static_cast<double>(base_cycles) /
-          static_cast<double>(
-              sched::network_latency(half, cfg).total_cycles);
+  for (std::size_t n = 0; n < networks.size(); ++n) {
+    const nets::NetworkId id = networks[n];
+    for (std::size_t a = 0; a < alphas.size(); ++a) {
+      const Point& p = points[n * alphas.size() + a];
       table.add_row(
-          {nets::network_name(id), util::fixed(alpha, 2),
-           util::fixed(static_cast<double>(baseline.total_macs()) / 1e6, 0),
-           util::fixed(static_cast<double>(baseline.total_params()) / 1e6,
-                       2),
-           util::fixed(full_speedup, 2) + "x",
-           util::fixed(half_speedup, 2) + "x"});
-      csv_rows.push_back({nets::network_name(id), util::fixed(alpha, 2),
-                          std::to_string(baseline.total_macs()),
-                          std::to_string(baseline.total_params()),
-                          util::fixed(full_speedup, 3),
-                          util::fixed(half_speedup, 3)});
+          {nets::network_name(id), util::fixed(alphas[a], 2),
+           util::fixed(static_cast<double>(p.macs) / 1e6, 0),
+           util::fixed(static_cast<double>(p.params) / 1e6, 2),
+           util::fixed(p.full_speedup, 2) + "x",
+           util::fixed(p.half_speedup, 2) + "x"});
+      csv_rows.push_back({nets::network_name(id), util::fixed(alphas[a], 2),
+                          std::to_string(p.macs), std::to_string(p.params),
+                          util::fixed(p.full_speedup, 3),
+                          util::fixed(p.half_speedup, 3)});
     }
     table.add_separator();
   }
   table.print(std::cout);
+  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
 
   if (flags.get_bool("csv")) {
     util::CsvWriter csv("bench_width_mult.csv");

@@ -2,11 +2,25 @@
 
 #include <map>
 
+#include "sched/latency_cache.hpp"
 #include "util/check.hpp"
 
 namespace fuse::sched {
 
 using nn::OpKind;
+
+namespace {
+
+/// Memoized layer_latency when a cache is supplied, the plain function
+/// otherwise. Both paths compute the same pure function of (layer, cfg).
+LatencyEstimate cached_layer_latency(const LayerDesc& layer,
+                                     const ArrayConfig& cfg,
+                                     LatencyCache* cache) {
+  return cache ? cache->get_or_compute(layer, cfg)
+               : layer_latency(layer, cfg);
+}
+
+}  // namespace
 
 LatencyEstimate layer_latency(const LayerDesc& layer,
                               const ArrayConfig& cfg) {
@@ -197,11 +211,12 @@ double NetworkLatency::utilization(const ArrayConfig& cfg) const {
 }
 
 NetworkLatency network_latency(const NetworkModel& model,
-                               const ArrayConfig& cfg) {
+                               const ArrayConfig& cfg,
+                               LatencyCache* cache) {
   NetworkLatency result;
   result.per_layer.reserve(model.layers.size());
   for (const LayerDesc& layer : model.layers) {
-    LatencyEstimate est = layer_latency(layer, cfg);
+    LatencyEstimate est = cached_layer_latency(layer, cfg, cache);
     result.total_cycles += est.cycles;
     result.per_layer.push_back(est);
   }
@@ -276,13 +291,14 @@ namespace {
 /// Cycles attributed to each fuse slot (dw/fuse layer + its SE + its
 /// projection pointwise), via the fuse_slot tags.
 std::map<int, std::uint64_t> cycles_by_slot(const NetworkModel& model,
-                                            const ArrayConfig& cfg) {
+                                            const ArrayConfig& cfg,
+                                            LatencyCache* cache) {
   std::map<int, std::uint64_t> by_slot;
   for (const LayerDesc& layer : model.layers) {
     if (layer.fuse_slot < 0) {
       continue;
     }
-    by_slot[layer.fuse_slot] += layer_latency(layer, cfg).cycles;
+    by_slot[layer.fuse_slot] += cached_layer_latency(layer, cfg, cache).cycles;
   }
   return by_slot;
 }
@@ -290,15 +306,16 @@ std::map<int, std::uint64_t> cycles_by_slot(const NetworkModel& model,
 }  // namespace
 
 std::vector<double> slot_savings(NetworkId id, FuseMode mode,
-                                 const ArrayConfig& cfg) {
+                                 const ArrayConfig& cfg,
+                                 LatencyCache* cache) {
   FUSE_CHECK(mode != FuseMode::kBaseline)
       << "slot_savings needs a replacing mode";
   const NetworkModel baseline = nets::build_network(id);
   const NetworkModel fused = nets::build_network(
       id, core::uniform_modes(baseline.num_slots, mode));
 
-  const auto base_slots = cycles_by_slot(baseline, cfg);
-  const auto fused_slots = cycles_by_slot(fused, cfg);
+  const auto base_slots = cycles_by_slot(baseline, cfg, cache);
+  const auto fused_slots = cycles_by_slot(fused, cfg, cache);
 
   std::vector<double> savings(static_cast<std::size_t>(baseline.num_slots),
                               0.0);
@@ -316,13 +333,13 @@ std::vector<double> slot_savings(NetworkId id, FuseMode mode,
 }
 
 VariantBuild build_variant(NetworkId id, NetworkVariant variant,
-                           const ArrayConfig& cfg) {
+                           const ArrayConfig& cfg, LatencyCache* cache) {
   const int slots = nets::num_fuse_slots(id);
   std::vector<double> savings;
   if (variant == NetworkVariant::kFuseFull50) {
-    savings = slot_savings(id, FuseMode::kFull, cfg);
+    savings = slot_savings(id, FuseMode::kFull, cfg, cache);
   } else if (variant == NetworkVariant::kFuseHalf50) {
-    savings = slot_savings(id, FuseMode::kHalf, cfg);
+    savings = slot_savings(id, FuseMode::kHalf, cfg, cache);
   }
   VariantBuild build;
   build.modes = core::modes_for_variant(variant, slots, savings);
@@ -331,14 +348,14 @@ VariantBuild build_variant(NetworkId id, NetworkVariant variant,
 }
 
 double speedup_vs_baseline(NetworkId id, NetworkVariant variant,
-                           const ArrayConfig& cfg) {
+                           const ArrayConfig& cfg, LatencyCache* cache) {
   const VariantBuild baseline =
-      build_variant(id, NetworkVariant::kBaseline, cfg);
-  const VariantBuild target = build_variant(id, variant, cfg);
+      build_variant(id, NetworkVariant::kBaseline, cfg, cache);
+  const VariantBuild target = build_variant(id, variant, cfg, cache);
   const std::uint64_t base_cycles =
-      network_latency(baseline.model, cfg).total_cycles;
+      network_latency(baseline.model, cfg, cache).total_cycles;
   const std::uint64_t variant_cycles =
-      network_latency(target.model, cfg).total_cycles;
+      network_latency(target.model, cfg, cache).total_cycles;
   FUSE_CHECK(variant_cycles > 0) << "variant has zero latency";
   return static_cast<double>(base_cycles) /
          static_cast<double>(variant_cycles);

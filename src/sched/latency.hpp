@@ -35,8 +35,13 @@ using nn::LayerDesc;
 using systolic::ArrayConfig;
 using systolic::LatencyEstimate;
 
+class LatencyCache;  // latency_cache.hpp — shape-keyed memo table
+
 /// Cycles (and fold/MAC/utilization accounting) for one layer (batch 1,
-/// the paper's setting).
+/// the paper's setting). Pure function of the layer geometry and the
+/// array config — which is what makes the LatencyCache memoization and
+/// the SweepEngine's parallel walks (sweep.hpp) bit-identical to the
+/// serial path.
 LatencyEstimate layer_latency(const LayerDesc& layer,
                               const ArrayConfig& cfg);
 
@@ -63,8 +68,11 @@ struct NetworkLatency {
   double utilization(const ArrayConfig& cfg) const;
 };
 
+/// Serial reference walk. With a non-null `cache`, per-layer results are
+/// memoized through it (same values — layer_latency is pure).
 NetworkLatency network_latency(const NetworkModel& model,
-                               const ArrayConfig& cfg);
+                               const ArrayConfig& cfg,
+                               LatencyCache* cache = nullptr);
 
 /// Operator classes of the paper's Fig. 8(c) latency-distribution plot.
 enum class OperatorClass {
@@ -95,7 +103,8 @@ OperatorBreakdown operator_breakdown(const NetworkModel& model,
 /// ripple onto the slot's squeeze-excite and projection pointwise (tagged
 /// via LayerDesc::fuse_slot). Used to pick the 50% variants.
 std::vector<double> slot_savings(NetworkId id, FuseMode mode,
-                                 const ArrayConfig& cfg);
+                                 const ArrayConfig& cfg,
+                                 LatencyCache* cache = nullptr);
 
 /// A fully resolved network variant: the lowered model plus the per-slot
 /// modes that produced it.
@@ -107,11 +116,13 @@ struct VariantBuild {
 /// Builds any Table-I variant; the 50% variants select slots greedily by
 /// latency savings on the given array.
 VariantBuild build_variant(NetworkId id, NetworkVariant variant,
-                           const ArrayConfig& cfg);
+                           const ArrayConfig& cfg,
+                           LatencyCache* cache = nullptr);
 
 /// Convenience: latency ratio baseline/variant on the given array.
 double speedup_vs_baseline(NetworkId id, NetworkVariant variant,
-                           const ArrayConfig& cfg);
+                           const ArrayConfig& cfg,
+                           LatencyCache* cache = nullptr);
 
 // --- roofline extension (beyond the paper's compute-bound assumption) --------
 

@@ -1,0 +1,92 @@
+#include "sched/latency_cache.hpp"
+
+#include <mutex>
+
+#include "sched/latency.hpp"
+
+namespace fuse::sched {
+
+LatencyKey make_latency_key(const nn::LayerDesc& layer,
+                            const systolic::ArrayConfig& cfg) {
+  LatencyKey key;
+  key.fields = {
+      static_cast<std::int64_t>(layer.kind),
+      layer.in_c,
+      layer.in_h,
+      layer.in_w,
+      layer.out_c,
+      layer.out_h,
+      layer.out_w,
+      layer.kernel_h,
+      layer.kernel_w,
+      layer.stride_h,
+      layer.stride_w,
+      layer.pad_h,
+      layer.pad_w,
+      layer.groups,
+      cfg.rows,
+      cfg.cols,
+      static_cast<std::int64_t>(cfg.dataflow),
+      // Remaining config booleans + mapping enum packed into one slot.
+      static_cast<std::int64_t>(cfg.standard_conv_mapping) |
+          (cfg.broadcast_links ? 1LL << 2 : 0) |
+          (cfg.overlap_fold_drain ? 1LL << 3 : 0) |
+          (cfg.strided_fuse_dense_compute ? 1LL << 4 : 0),
+  };
+  return key;
+}
+
+std::size_t LatencyKeyHash::operator()(const LatencyKey& key) const {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (std::int64_t field : key.fields) {
+    std::uint64_t v = static_cast<std::uint64_t>(field);
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (8 * byte)) & 0xFF;
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+systolic::LatencyEstimate LatencyCache::get_or_compute(
+    const nn::LayerDesc& layer, const systolic::ArrayConfig& cfg) {
+  const LatencyKey key = make_latency_key(layer, cfg);
+  Shard& shard = shards_[LatencyKeyHash{}(key) % kShards];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1);
+      return it->second;
+    }
+  }
+  // Compute outside any lock: layer_latency is pure, so a concurrent miss
+  // on the same key just computes the same value.
+  const systolic::LatencyEstimate estimate = layer_latency(layer, cfg);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.map.try_emplace(key, estimate);
+  }
+  misses_.fetch_add(1);
+  return estimate;
+}
+
+std::size_t LatencyCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void LatencyCache::clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+  hits_.store(0);
+  misses_.store(0);
+}
+
+}  // namespace fuse::sched

@@ -2,42 +2,16 @@
 
 #include <map>
 
+#include "sched/sweep.hpp"
 #include "util/check.hpp"
 
 namespace fuse::sched {
 
 std::vector<Table1Row> table1_rows(const ArrayConfig& cfg) {
-  std::vector<Table1Row> rows;
-  for (NetworkId id : nets::paper_networks()) {
-    const auto paper_rows = nets::paper_table1(id);
-    const VariantBuild baseline =
-        build_variant(id, NetworkVariant::kBaseline, cfg);
-    const std::uint64_t baseline_cycles =
-        network_latency(baseline.model, cfg).total_cycles;
-
-    for (NetworkVariant variant : core::all_network_variants()) {
-      const VariantBuild build = build_variant(id, variant, cfg);
-      Table1Row row;
-      row.network = id;
-      row.variant = variant;
-      row.macs = build.model.total_macs();
-      row.params = build.model.total_params();
-      row.cycles = network_latency(build.model, cfg).total_cycles;
-      FUSE_CHECK(row.cycles > 0) << "zero-cycle network";
-      row.speedup = static_cast<double>(baseline_cycles) /
-                    static_cast<double>(row.cycles);
-      for (const auto& paper : paper_rows) {
-        if (paper.variant == variant) {
-          row.paper_accuracy = paper.imagenet_accuracy;
-          row.paper_macs_millions = paper.macs_millions;
-          row.paper_params_millions = paper.params_millions;
-          row.paper_speedup = paper.speedup;
-        }
-      }
-      rows.push_back(row);
-    }
-  }
-  return rows;
+  // Fans the 25 (network, variant) cells across the process-wide
+  // SweepEngine; results are index-ordered and bit-identical to the old
+  // serial walk (test_sweep_determinism.cpp).
+  return default_sweep_engine().table1_rows(cfg);
 }
 
 std::vector<SlotSpeedup> layerwise_speedup(NetworkId id, FuseMode mode,
@@ -85,13 +59,7 @@ std::vector<SlotSpeedup> layerwise_speedup(NetworkId id, FuseMode mode,
 std::vector<ScalingPoint> scaling_sweep(
     NetworkId id, NetworkVariant variant,
     const std::vector<std::int64_t>& sizes) {
-  std::vector<ScalingPoint> points;
-  points.reserve(sizes.size());
-  for (std::int64_t size : sizes) {
-    const ArrayConfig cfg = systolic::square_array(size);
-    points.push_back(ScalingPoint{size, speedup_vs_baseline(id, variant, cfg)});
-  }
-  return points;
+  return default_sweep_engine().scaling_sweep(id, variant, sizes);
 }
 
 }  // namespace fuse::sched

@@ -1,0 +1,182 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace fuse::util {
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  FUSE_CHECK(threads >= 0) << "thread count must be >= 0, got " << threads;
+  queues_.reserve(static_cast<std::size_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(Task task) {
+  FUSE_CHECK(task != nullptr) << "cannot submit an empty task";
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  const std::size_t q = next_queue_.fetch_add(1) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    pending_.fetch_add(1);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t worker, Task& out) {
+  WorkQueue& queue = *queues_[worker];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.tasks.empty()) {
+    return false;
+  }
+  out = std::move(queue.tasks.back());
+  queue.tasks.pop_back();
+  pending_.fetch_sub(1);
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, Task& out) {
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkQueue& queue = *queues_[(thief + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      out = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+      pending_.fetch_sub(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  Task task;
+  while (true) {
+    if (try_pop(id, task) || try_steal(id, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load() || pending_.load() > 0;
+    });
+    if (stop_.load() && pending_.load() <= 0) {
+      return;  // drained: every queued task ran before shutdown
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& body,
+                              std::int64_t grain) {
+  FUSE_CHECK(n >= 0) << "parallel_for needs n >= 0, got " << n;
+  FUSE_CHECK(grain >= 1) << "parallel_for needs grain >= 1, got " << grain;
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n <= grain) {
+    // Same semantics as the pooled path: the first exception is captured,
+    // the remaining iterations still run, then it is rethrown.
+    std::exception_ptr error;
+    for (std::int64_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<std::int64_t> next{0};  // first unclaimed index
+    std::atomic<std::int64_t> done{0};  // completed iterations
+    std::int64_t n = 0;
+    std::int64_t grain = 1;
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first body exception, guarded by mutex
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->body = &body;  // outlives the loop: the caller blocks below
+
+  auto run_chunks = [state] {
+    while (true) {
+      const std::int64_t begin = state->next.fetch_add(state->grain);
+      if (begin >= state->n) {
+        return;
+      }
+      const std::int64_t end = std::min(begin + state->grain, state->n);
+      try {
+        for (std::int64_t i = begin; i < end; ++i) {
+          (*state->body)(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+      }
+      if (state->done.fetch_add(end - begin) + (end - begin) == state->n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  const std::int64_t helpers =
+      std::min<std::int64_t>(static_cast<std::int64_t>(size()), chunks - 1);
+  for (std::int64_t i = 0; i < helpers; ++i) {
+    submit(run_chunks);
+  }
+  run_chunks();  // the caller participates (also makes nesting safe)
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&state] { return state->done.load() == state->n; });
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace fuse::util

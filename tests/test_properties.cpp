@@ -10,7 +10,9 @@
 #include "core/fuseconv.hpp"
 #include "nets/serialize.hpp"
 #include "nn/ops.hpp"
+#include "sched/execute.hpp"
 #include "sched/latency.hpp"
+#include "sched/latency_cache.hpp"
 #include "systolic/cycle_model.hpp"
 #include "systolic/sim.hpp"
 #include "tensor/half.hpp"
@@ -154,6 +156,68 @@ TEST(Property, LayerLatencyMacsAlwaysMatchLayerMacs) {
           << " size " << size;
     }
   }
+}
+
+TEST(Property, CachedLatencyEqualsUncachedEqualsSimulatedCycles) {
+  // Three independent implementations of "how long does this layer take"
+  // must agree on random geometries: the memoized LatencyCache lookup, the
+  // direct analytic model, and the PE-grid simulator actually executing
+  // the layer (overlap_fold_drain=false — what the simulator measures).
+  util::Rng rng(1008);
+  sched::LatencyCache cache;
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t size = 4 + static_cast<std::int64_t>(rng.uniform_index(5));
+    systolic::ArrayConfig cfg = systolic::square_array(size);
+    cfg.overlap_fold_drain = false;
+    const std::int64_t c = 1 + static_cast<std::int64_t>(rng.uniform_index(6));
+    const std::int64_t k = 1 + 2 * static_cast<std::int64_t>(rng.uniform_index(3));
+    const std::int64_t hw = k + 2 + static_cast<std::int64_t>(rng.uniform_index(6));
+    const std::int64_t stride = 1 + static_cast<std::int64_t>(rng.uniform_index(2));
+    const std::int64_t pad = k / 2;
+    const std::int64_t out_c = c + 1 + static_cast<std::int64_t>(rng.uniform_index(4));
+
+    struct Case {
+      nn::LayerDesc layer;
+      tensor::Shape weight_shape;
+    };
+    const std::vector<Case> cases = {
+        {nn::make_conv("c", c, hw, hw, out_c, k, stride, pad),
+         Shape{out_c, c, k, k}},
+        {nn::make_depthwise("dw", c, hw, hw, k, stride, pad),
+         Shape{c, 1, k, k}},
+        {nn::make_pointwise("pw", c, hw, hw, out_c), Shape{out_c, c, 1, 1}},
+        {nn::make_fuse_row("fr", c, hw, hw, k, stride, pad),
+         Shape{c, 1, 1, k}},
+        {nn::make_fuse_col("fc", c, hw, hw, k, stride, pad),
+         Shape{c, 1, k, 1}},
+        {nn::make_fully_connected("fcl", c * 3, out_c, /*bias=*/false),
+         Shape{out_c, c * 3}},
+    };
+    for (const Case& cs : cases) {
+      const auto uncached = sched::layer_latency(cs.layer, cfg);
+      // First lookup computes, second must hit; both equal the direct call.
+      for (int pass = 0; pass < 2; ++pass) {
+        const auto cached = cache.get_or_compute(cs.layer, cfg);
+        EXPECT_EQ(cached.cycles, uncached.cycles)
+            << "trial " << trial << " pass " << pass << " "
+            << cs.layer.to_string();
+        EXPECT_EQ(cached.folds, uncached.folds) << cs.layer.to_string();
+        EXPECT_EQ(cached.mac_ops, uncached.mac_ops) << cs.layer.to_string();
+      }
+      const Tensor input =
+          cs.layer.kind == nn::OpKind::kFullyConnected
+              ? random_tensor(Shape{1, cs.layer.in_c, 1, 1}, rng)
+              : random_tensor(Shape{1, c, hw, hw}, rng);
+      const Tensor weight = random_tensor(cs.weight_shape, rng);
+      const auto exec =
+          sched::execute_layer_on_array(cs.layer, input, weight, cfg);
+      EXPECT_EQ(exec.cycles, uncached.cycles)
+          << "trial " << trial << " " << cs.layer.to_string() << " S="
+          << size;
+    }
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.entries(), cache.misses());
 }
 
 TEST(Property, RandomModeVectorsKeepNetworksWellFormed) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full verification gate for the sweep engine:
+#   1. default build + complete test suite,
+#   2. ThreadSanitizer build running the concurrency suites
+#      (test_thread_pool, test_sweep_determinism, test_properties),
+#   3. bench determinism: every bench binary's output must be
+#      byte-identical between --threads=1 --no-cache and --threads=8
+#      (only the "sweep: ..." wall-time footer may differ).
+#
+# Usage: tools/check.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+echo "=== [1/3] default build + full test suite ==="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo
+echo "=== [2/3] ThreadSanitizer build + concurrency suites ==="
+CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties)
+cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target "${CONCURRENCY_TESTS[@]}"
+for t in "${CONCURRENCY_TESTS[@]}"; do
+  echo "--- $t (TSan) ---"
+  "$TSAN_DIR/tests/$t"
+done
+
+echo
+echo "=== [3/3] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+for bench in bench_table1 bench_fig8d_scaling bench_pareto \
+             bench_resolution bench_width_mult bench_nos; do
+  bin="$BUILD_DIR/bench/$bench"
+  [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
+  if diff <("$bin" --threads=1 --no-cache | grep -v '^sweep:') \
+          <("$bin" --threads=8 | grep -v '^sweep:') >/dev/null; then
+    echo "$bench: byte-identical"
+  else
+    echo "$bench: OUTPUT DIVERGED between thread counts" >&2
+    exit 1
+  fi
+done
+
+echo
+echo "all checks passed"
