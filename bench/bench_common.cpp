@@ -1,0 +1,34 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace fuse::bench {
+
+SweepHarness::SweepHarness(util::CliFlags& flags) {
+  sched::add_sweep_flags(flags);
+}
+
+sched::SweepEngine& SweepHarness::engine(const util::CliFlags& flags) {
+  FUSE_CHECK(!engine_) << "SweepHarness::engine called twice";
+  engine_.emplace(sched::sweep_options_from_flags(flags));
+  start_ = std::chrono::steady_clock::now();
+  return *engine_;
+}
+
+void SweepHarness::stop() {
+  if (wall_ms_ < 0.0) {
+    wall_ms_ = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+  }
+}
+
+void SweepHarness::print_footer() {
+  FUSE_CHECK(engine_) << "SweepHarness::print_footer before engine()";
+  stop();
+  std::printf("\n%s\n", sched::sweep_stats_line(*engine_, wall_ms_).c_str());
+}
+
+}  // namespace fuse::bench

@@ -1,0 +1,49 @@
+// Shared wiring of the sweep-driven benches: every table/figure binary
+// that fans work across a SweepEngine registers the same --threads /
+// --no-cache flags, times the parallel section with a steady clock, and
+// prints the same "sweep: ..." cache-stats footer. SweepHarness owns that
+// boilerplate so each bench only contains its own sweep and table.
+//
+// Usage:
+//   util::CliFlags flags;
+//   ...bench-specific flags...
+//   bench::SweepHarness harness(flags);   // registers the sweep flags
+//   flags.parse(argc, argv);
+//   auto& engine = harness.engine(flags); // builds engine, starts clock
+//   ...parallel work through engine...
+//   harness.stop();                       // freeze wall time (optional)
+//   table.print(std::cout);
+//   harness.print_footer();               // "sweep: N threads, cache ..."
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "sched/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace fuse::bench {
+
+class SweepHarness {
+ public:
+  /// Registers --threads/--no-cache on `flags`. Call before parse().
+  explicit SweepHarness(util::CliFlags& flags);
+
+  /// Builds the engine from the parsed flags and starts the wall clock.
+  /// Call once, after flags.parse().
+  sched::SweepEngine& engine(const util::CliFlags& flags);
+
+  /// Freezes the wall-clock measurement; later calls are no-ops, so the
+  /// timed window ends at the first stop() (or at print_footer()).
+  void stop();
+
+  /// Prints the sweep stats footer (stops the clock first if running).
+  void print_footer();
+
+ private:
+  std::optional<sched::SweepEngine> engine_;
+  std::chrono::steady_clock::time_point start_;
+  double wall_ms_ = -1.0;
+};
+
+}  // namespace fuse::bench

@@ -4,10 +4,10 @@
 //
 // Usage: bench_fig8d_scaling [--variant=half] [--csv] [--threads=N]
 //        [--no-cache]
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_string("variant", "half", "full|half");
   flags.add_bool("csv", false, "also write bench_fig8d.csv");
-  sched::add_sweep_flags(flags);
+  bench::SweepHarness harness(flags);
   flags.parse(argc, argv);
 
   const core::NetworkVariant variant =
@@ -38,10 +38,9 @@ int main(int argc, char** argv) {
   for (std::int64_t s : sizes) {
     header.push_back(std::to_string(s) + "x" + std::to_string(s));
   }
-  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
   const auto networks = nets::paper_networks();
   std::vector<std::vector<sched::ScalingPoint>> sweeps(networks.size());
-  const auto start = std::chrono::steady_clock::now();
+  sched::SweepEngine& engine = harness.engine(flags);
   // One task per (network, size) cell: the engine parallelizes the sizes
   // inside scaling_sweep, and the networks fan across the outer loop.
   engine.pool().parallel_for(
@@ -49,10 +48,7 @@ int main(int argc, char** argv) {
         const std::size_t n = static_cast<std::size_t>(i);
         sweeps[n] = engine.scaling_sweep(networks[n], variant, sizes);
       });
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  harness.stop();
 
   util::TablePrinter table(header);
   std::vector<std::vector<std::string>> csv_rows;
@@ -67,7 +63,7 @@ int main(int argc, char** argv) {
     csv_rows.push_back(csv_row);
   }
   table.print(std::cout);
-  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
+  harness.print_footer();
 
   if (flags.get_bool("csv")) {
     util::CsvWriter csv("bench_fig8d.csv");

@@ -7,10 +7,10 @@
 //       all-Full latencies (the regime where operators genuinely compete)
 //
 // Usage: bench_nos [--size=64] [--csv] [--threads=N] [--no-cache]
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "nos/search.hpp"
 #include "sched/sweep.hpp"
 #include "util/cli.hpp"
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_bool("csv", false, "also write bench_nos.csv");
-  sched::add_sweep_flags(flags);
+  bench::SweepHarness harness(flags);
   flags.parse(argc, argv);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
@@ -40,8 +40,7 @@ int main(int argc, char** argv) {
   };
   const std::vector<nets::NetworkId> networks = nets::paper_networks();
   std::vector<NetworkSearch> searches(networks.size());
-  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
-  const auto start = std::chrono::steady_clock::now();
+  sched::SweepEngine& engine = harness.engine(flags);
   // The per-network searches are independent; one task runs both budget
   // directions for its network.
   engine.pool().parallel_for(
@@ -64,10 +63,7 @@ int main(int argc, char** argv) {
         s.mid_band_ratio = budget.max_cycles_ratio;
         s.max_params = nos::search_capacity(id, cfg, budget);
       });
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  harness.stop();
 
   util::TablePrinter table({"Network", "Objective", "Params", "Speedup",
                             "Per-slot assignment"});
@@ -96,7 +92,7 @@ int main(int argc, char** argv) {
     table.add_separator();
   }
   table.print(std::cout);
-  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
+  harness.print_footer();
   std::printf(
       "\nmixed assignments in the capacity rows are the point: operator "
       "choice is a\nper-layer decision, which is what the paper's NOS "

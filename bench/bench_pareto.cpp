@@ -6,10 +6,10 @@
 // silicon into speed through 128x128.
 //
 // Usage: bench_pareto [--net=v2] [--csv] [--threads=N] [--no-cache]
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "hw/area_power.hpp"
 #include "sched/sweep.hpp"
 #include "util/check.hpp"
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_string("net", "v2", "network: v1|v2|v3s|v3l|mnas");
   flags.add_bool("csv", false, "also write bench_pareto.csv");
-  sched::add_sweep_flags(flags);
+  bench::SweepHarness harness(flags);
   flags.parse(argc, argv);
 
   const nets::NetworkId id = parse_net(flags.get_string("net"));
@@ -60,8 +60,7 @@ int main(int argc, char** argv) {
     double fuse_inf_s = 0.0;
   };
   std::vector<Point> points(sizes.size());
-  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
-  const auto start = std::chrono::steady_clock::now();
+  sched::SweepEngine& engine = harness.engine(flags);
   engine.pool().parallel_for(
       static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
         const std::size_t s = static_cast<std::size_t>(i);
@@ -73,10 +72,7 @@ int main(int argc, char** argv) {
         points[s].fuse_inf_s =
             hz / static_cast<double>(engine.network_cycles(fused, cfg));
       });
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  harness.stop();
 
   util::TablePrinter table({"Array", "Area (mm^2)", "Power (W)",
                             "base inf/s", "FuSe inf/s", "FuSe inf/s/mm^2",
@@ -100,7 +96,7 @@ int main(int argc, char** argv) {
                         util::fixed(p.fuse_inf_s, 1)});
   }
   table.print(std::cout);
-  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
+  harness.print_footer();
   std::printf(
       "\nFuSe keeps converting PEs into throughput where the baseline "
       "saturates; the\nthroughput-per-area optimum moves toward smaller "

@@ -3,10 +3,10 @@
 // output-stationary systolic array for 5 networks x 5 variants.
 //
 // Usage: bench_table1 [--size=64] [--csv] [--threads=N] [--no-cache]
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_bool("csv", false, "also write bench_table1.csv");
-  sched::add_sweep_flags(flags);
+  bench::SweepHarness harness(flags);
   flags.parse(argc, argv);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
@@ -29,13 +29,9 @@ int main(int argc, char** argv) {
       "(accuracy column = paper-reported ImageNet top-1; this repo's "
       "synthetic-accuracy study is bench_accuracy_synth)\n\n");
 
-  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
-  const auto start = std::chrono::steady_clock::now();
+  sched::SweepEngine& engine = harness.engine(flags);
   const auto rows = engine.table1_rows(cfg);
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  harness.stop();
 
   util::TablePrinter table({"Network", "Acc% (paper)", "MACs(M)",
                             "paper", "Params(M)", "paper", "Speedup",
@@ -60,7 +56,7 @@ int main(int argc, char** argv) {
                    util::fixed(row.paper_speedup, 2) + "x"});
   }
   table.print(std::cout);
-  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
+  harness.print_footer();
 
   if (flags.get_bool("csv")) {
     util::CsvWriter csv("bench_table1.csv");

@@ -6,10 +6,10 @@
 // at small alpha.
 //
 // Usage: bench_width_mult [--size=64] [--csv] [--threads=N] [--no-cache]
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sched/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_bool("csv", false, "also write bench_width_mult.csv");
-  sched::add_sweep_flags(flags);
+  bench::SweepHarness harness(flags);
   flags.parse(argc, argv);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
@@ -44,8 +44,7 @@ int main(int argc, char** argv) {
   const std::int64_t cells =
       static_cast<std::int64_t>(networks.size() * alphas.size());
   std::vector<Point> points(static_cast<std::size_t>(cells));
-  sched::SweepEngine engine(sched::sweep_options_from_flags(flags));
-  const auto start = std::chrono::steady_clock::now();
+  sched::SweepEngine& engine = harness.engine(flags);
   engine.pool().parallel_for(cells, [&](std::int64_t flat) {
     const std::size_t n = static_cast<std::size_t>(flat) / alphas.size();
     const double alpha =
@@ -66,10 +65,7 @@ int main(int argc, char** argv) {
     p.half_speedup = static_cast<double>(base_cycles) /
                      static_cast<double>(engine.network_cycles(half, cfg));
   });
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  harness.stop();
 
   util::TablePrinter table({"Network", "alpha", "MACs (M)", "Params (M)",
                             "Full speedup", "Half speedup"});
@@ -92,7 +88,7 @@ int main(int argc, char** argv) {
     table.add_separator();
   }
   table.print(std::cout);
-  std::printf("\n%s\n", sched::sweep_stats_line(engine, wall_ms).c_str());
+  harness.print_footer();
 
   if (flags.get_bool("csv")) {
     util::CsvWriter csv("bench_width_mult.csv");

@@ -10,6 +10,7 @@
 
 #include "nets/serialize.hpp"
 #include "sched/latency.hpp"
+#include "systolic/mapping.hpp"
 #include "systolic/trace.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -81,20 +82,10 @@ int main(int argc, char** argv) {
     }
     const nn::LayerDesc& layer = build.model.layers[heaviest];
     const systolic::MemoryConfig mem;
-    systolic::FoldTrace trace;
-    if (layer.kind == nn::OpKind::kFuseRowConv) {
-      trace = systolic::fuse1d_trace(layer.out_c * layer.out_h,
-                                     layer.out_w, layer.kernel_w, cfg, mem);
-    } else if (layer.kind == nn::OpKind::kFuseColConv) {
-      trace = systolic::fuse1d_trace(layer.out_c * layer.out_w,
-                                     layer.out_h, layer.kernel_h, cfg, mem);
-    } else {
-      // Conv-family layers trace as their im2col matmul.
-      trace = systolic::matmul_trace(
-          layer.out_h * layer.out_w,
-          layer.kernel_h * layer.kernel_w * (layer.in_c / layer.groups),
-          layer.out_c / layer.groups, cfg, mem);
-    }
+    // Same lowering the latency model folds over; every repeat (e.g. each
+    // depthwise channel) appears as its own run of folds.
+    const systolic::FoldTrace trace =
+        systolic::plan_trace(systolic::lower(layer, cfg), cfg, mem);
     systolic::write_fold_trace_csv(trace, trace_path);
     std::printf(
         "wrote %s: %zu folds of layer '%s' (%s cycles, peak fold %s B, "

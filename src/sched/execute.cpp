@@ -1,5 +1,6 @@
 #include "sched/execute.hpp"
 
+#include "systolic/mapping.hpp"
 #include "tensor/im2col.hpp"
 #include "util/check.hpp"
 
@@ -7,6 +8,8 @@ namespace fuse::sched {
 
 using nn::LayerDesc;
 using nn::OpKind;
+using systolic::PrimitiveKind;
+using systolic::PrimitiveOp;
 using systolic::SimResult;
 using systolic::SystolicArraySim;
 using tensor::Shape;
@@ -49,6 +52,7 @@ LayerExecution from_sim(SimResult result) {
 }
 
 LayerExecution execute_standard_conv(const LayerDesc& layer,
+                                     const PrimitiveOp& op,
                                      const Tensor& input,
                                      const Tensor& weight,
                                      SystolicArraySim& sim) {
@@ -56,6 +60,9 @@ LayerExecution execute_standard_conv(const LayerDesc& layer,
   const Tensor patches =
       tensor::im2col(image, layer.kernel_h, layer.kernel_w, layer.stride_h,
                      layer.stride_w, layer.pad_h, layer.pad_w);
+  FUSE_CHECK(op.m == patches.shape().dim(0) &&
+             op.k == patches.shape().dim(1) && op.n == layer.out_c)
+      << "im2col plan does not match layer " << layer.name;
   // Flatten the filter bank to [taps, C_out].
   const std::int64_t taps =
       layer.in_c * layer.kernel_h * layer.kernel_w;
@@ -77,10 +84,67 @@ LayerExecution execute_standard_conv(const LayerDesc& layer,
   return exec;
 }
 
-LayerExecution execute_depthwise(const LayerDesc& layer, const Tensor& input,
+/// Channelwise standard conv (Fig. 3(b)): one [positions, C_in] x
+/// [C_in, C_out] matmul per kernel tap, partials accumulated off-array
+/// (standing in for the adder tree the mapping assumes).
+LayerExecution execute_channelwise_conv(const LayerDesc& layer,
+                                        const PrimitiveOp& op,
+                                        const Tensor& input,
+                                        const Tensor& weight,
+                                        SystolicArraySim& sim) {
+  const Tensor image = squeeze_batch(input);
+  const std::int64_t positions = layer.out_h * layer.out_w;
+  FUSE_CHECK(op.m == positions && op.k == layer.in_c &&
+             op.n == layer.out_c &&
+             op.repeats == layer.kernel_h * layer.kernel_w)
+      << "channelwise plan does not match layer " << layer.name;
+  Tensor accum(Shape{positions, layer.out_c});
+  LayerExecution exec;
+  for (std::int64_t ky = 0; ky < layer.kernel_h; ++ky) {
+    for (std::int64_t kx = 0; kx < layer.kernel_w; ++kx) {
+      // The tap's activations: input shifted by (ky, kx), zero padded.
+      Tensor activations(Shape{positions, layer.in_c});
+      for (std::int64_t pos = 0; pos < positions; ++pos) {
+        const std::int64_t iy =
+            (pos / layer.out_w) * layer.stride_h - layer.pad_h + ky;
+        const std::int64_t ix =
+            (pos % layer.out_w) * layer.stride_w - layer.pad_w + kx;
+        if (iy < 0 || iy >= layer.in_h || ix < 0 || ix >= layer.in_w) {
+          continue;
+        }
+        for (std::int64_t ic = 0; ic < layer.in_c; ++ic) {
+          activations.at(pos, ic) = image.at(ic, iy, ix);
+        }
+      }
+      Tensor filters(Shape{layer.in_c, layer.out_c});
+      for (std::int64_t oc = 0; oc < layer.out_c; ++oc) {
+        for (std::int64_t ic = 0; ic < layer.in_c; ++ic) {
+          filters.at(ic, oc) = weight.at(oc, ic, ky, kx);
+        }
+      }
+      const SimResult result = sim.matmul(activations, filters);
+      exec.cycles += result.cycles;
+      exec.folds += result.folds;
+      exec.mac_ops += result.mac_ops;
+      for (std::int64_t i = 0; i < accum.num_elements(); ++i) {
+        accum[i] += result.output[i];
+      }
+    }
+  }
+  exec.output =
+      positions_to_nchw(accum, layer.out_c, layer.out_h, layer.out_w);
+  return exec;
+}
+
+LayerExecution execute_depthwise(const LayerDesc& layer,
+                                 const PrimitiveOp& op, const Tensor& input,
                                  const Tensor& weight,
                                  SystolicArraySim& sim) {
   const Tensor image = squeeze_batch(input);
+  FUSE_CHECK(op.m == layer.out_h * layer.out_w &&
+             op.k == layer.kernel_h * layer.kernel_w && op.n == 1 &&
+             op.repeats == layer.out_c)
+      << "depthwise plan does not match layer " << layer.name;
   LayerExecution exec;
   exec.output = Tensor(Shape{1, layer.out_c, layer.out_h, layer.out_w});
   // One single-column matmul per channel — the §III-B mapping; channels
@@ -111,11 +175,14 @@ LayerExecution execute_depthwise(const LayerDesc& layer, const Tensor& input,
   return exec;
 }
 
-LayerExecution execute_pointwise(const LayerDesc& layer, const Tensor& input,
+LayerExecution execute_pointwise(const LayerDesc& layer,
+                                 const PrimitiveOp& op, const Tensor& input,
                                  const Tensor& weight,
                                  SystolicArraySim& sim) {
   const Tensor image = squeeze_batch(input);
   const std::int64_t positions = layer.in_h * layer.in_w;
+  FUSE_CHECK(op.m == positions && op.k == layer.in_c && op.n == layer.out_c)
+      << "pointwise plan does not match layer " << layer.name;
   Tensor activations(Shape{positions, layer.in_c});
   for (std::int64_t c = 0; c < layer.in_c; ++c) {
     for (std::int64_t pos = 0; pos < positions; ++pos) {
@@ -145,8 +212,9 @@ LayerExecution execute_pointwise(const LayerDesc& layer, const Tensor& input,
 /// mapped), while along the convolved axis the shift-register flow
 /// computes the dense output and the scatter below keeps every stride-th
 /// value — so the measured cycles match the dense-compute model exactly.
-LayerExecution execute_fuse(const LayerDesc& layer, const Tensor& input,
-                            const Tensor& weight, SystolicArraySim& sim) {
+LayerExecution execute_fuse(const LayerDesc& layer, const PrimitiveOp& op,
+                            const Tensor& input, const Tensor& weight,
+                            SystolicArraySim& sim) {
   const bool row_branch = layer.kind == OpKind::kFuseRowConv;
   const Tensor image = squeeze_batch(input);
   const std::int64_t channels = layer.in_c;
@@ -161,6 +229,10 @@ LayerExecution execute_fuse(const LayerDesc& layer, const Tensor& input,
       row_branch ? layer.out_h : layer.out_w;
   const std::int64_t line_length = row_branch ? layer.in_w : layer.in_h;
   const std::int64_t padded = line_length + 2 * pad;
+
+  FUSE_CHECK(op.lines == channels * line_count_per_channel &&
+             op.taps == taps)
+      << "fuse plan does not match layer " << layer.name;
 
   Tensor lines(Shape{channels * line_count_per_channel, padded});
   Tensor kernels(Shape{channels * line_count_per_channel, taps});
@@ -180,23 +252,60 @@ LayerExecution execute_fuse(const LayerDesc& layer, const Tensor& input,
     }
   }
 
-  SimResult result = sim.conv1d_broadcast(lines, kernels);
   LayerExecution exec;
-  exec.cycles = result.cycles;
-  exec.folds = result.folds;
-  exec.mac_ops = result.mac_ops;
-  exec.output = Tensor(Shape{1, layer.out_c, layer.out_h, layer.out_w});
-  // Dense output along the convolved axis; keep every stride-th value.
   const std::int64_t kept = row_branch ? layer.out_w : layer.out_h;
+  const std::int64_t total_lines = channels * line_count_per_channel;
+  Tensor line_values(Shape{total_lines, kept});
+  if (op.broadcast) {
+    const SimResult result = sim.conv1d_broadcast(lines, kernels);
+    exec.cycles = result.cycles;
+    exec.folds = result.folds;
+    exec.mac_ops = result.mac_ops;
+    // Dense output along the convolved axis; keep every stride-th value.
+    for (std::int64_t line = 0; line < total_lines; ++line) {
+      for (std::int64_t o = 0; o < kept; ++o) {
+        line_values.at(line, o) = result.output.at(line, o * stride);
+      }
+    }
+  } else {
+    // No broadcast bus: each line degrades to a serialized single-column
+    // matmul (the ablation baseline the plan's no-broadcast op models).
+    const std::int64_t dense = padded - taps + 1;
+    FUSE_CHECK(op.line_out == dense || op.line_out == kept)
+        << "fuse plan width does not match layer " << layer.name;
+    // A matmul can gather strided patches directly, so only the positions
+    // the plan charges for are computed.
+    const std::int64_t in_step = op.line_out == dense ? 1 : stride;
+    const std::int64_t read_step = op.line_out == dense ? stride : 1;
+    for (std::int64_t line = 0; line < total_lines; ++line) {
+      Tensor patches(Shape{op.line_out, taps});
+      for (std::int64_t o = 0; o < op.line_out; ++o) {
+        for (std::int64_t k = 0; k < taps; ++k) {
+          patches.at(o, k) = lines.at(line, o * in_step + k);
+        }
+      }
+      Tensor filter(Shape{taps, 1});
+      for (std::int64_t k = 0; k < taps; ++k) {
+        filter.at(k, 0) = kernels.at(line, k);
+      }
+      const SimResult result = sim.matmul(patches, filter);
+      exec.cycles += result.cycles;
+      exec.folds += result.folds;
+      exec.mac_ops += result.mac_ops;
+      for (std::int64_t o = 0; o < kept; ++o) {
+        line_values.at(line, o) = result.output.at(o * read_step, 0);
+      }
+    }
+  }
+  exec.output = Tensor(Shape{1, layer.out_c, layer.out_h, layer.out_w});
   for (std::int64_t c = 0; c < channels; ++c) {
     for (std::int64_t l = 0; l < line_count_per_channel; ++l) {
       const std::int64_t line = c * line_count_per_channel + l;
       for (std::int64_t o = 0; o < kept; ++o) {
-        const float value = result.output.at(line, o * stride);
         if (row_branch) {
-          exec.output.at(0, c, l, o) = value;
+          exec.output.at(0, c, l, o) = line_values.at(line, o);
         } else {
-          exec.output.at(0, c, o, l) = value;
+          exec.output.at(0, c, o, l) = line_values.at(line, o);
         }
       }
     }
@@ -205,11 +314,14 @@ LayerExecution execute_fuse(const LayerDesc& layer, const Tensor& input,
 }
 
 LayerExecution execute_fully_connected(const LayerDesc& layer,
+                                       const PrimitiveOp& op,
                                        const Tensor& input,
                                        const Tensor& weight,
                                        SystolicArraySim& sim) {
   FUSE_CHECK(input.num_elements() == layer.in_c)
       << "FC input must flatten to " << layer.in_c << " features";
+  FUSE_CHECK(op.m == 1 && op.k == layer.in_c && op.n == layer.out_c)
+      << "FC plan does not match layer " << layer.name;
   const Tensor row = input.reshaped(Shape{1, layer.in_c});
   Tensor filters(Shape{layer.in_c, layer.out_c});
   for (std::int64_t o = 0; o < layer.out_c; ++o) {
@@ -229,29 +341,29 @@ LayerExecution execute_layer_on_array(const LayerDesc& layer,
                                       const Tensor& input,
                                       const Tensor& weight,
                                       const systolic::ArrayConfig& cfg) {
+  // The same lowering the analytic model folds over drives the execution:
+  // the plan picks the primitive, the layer only supplies the data layout.
+  const systolic::MappingPlan plan = systolic::lower(layer, cfg);
+  FUSE_CHECK(!plan.ops.empty() && layer.kind != OpKind::kGroupedConv)
+      << "layer kind " << nn::op_kind_name(layer.kind)
+      << " does not execute on the array (layer " << layer.name << ")";
+  const PrimitiveOp& op = plan.ops.front();
   SystolicArraySim sim(cfg);
-  switch (layer.kind) {
-    case OpKind::kStandardConv:
-      return execute_standard_conv(layer, input, weight, sim);
-    case OpKind::kDepthwiseConv:
-      return execute_depthwise(layer, input, weight, sim);
-    case OpKind::kPointwiseConv:
-      return execute_pointwise(layer, input, weight, sim);
-    case OpKind::kFuseRowConv:
-    case OpKind::kFuseColConv:
-      return execute_fuse(layer, input, weight, sim);
-    case OpKind::kFullyConnected:
-      return execute_fully_connected(layer, input, weight, sim);
-    case OpKind::kGroupedConv:
-    case OpKind::kAvgPool:
-    case OpKind::kMaxPool:
-    case OpKind::kGlobalAvgPool:
-    case OpKind::kActivation:
-    case OpKind::kElementwiseAdd:
-      FUSE_CHECK(false) << "layer kind " << nn::op_kind_name(layer.kind)
-                        << " does not execute on the array (layer "
-                        << layer.name << ")";
+  switch (op.kind) {
+    case PrimitiveKind::kMatmulTile:
+      return layer.kind == OpKind::kFullyConnected
+                 ? execute_fully_connected(layer, op, input, weight, sim)
+                 : execute_pointwise(layer, op, input, weight, sim);
+    case PrimitiveKind::kIm2colTile:
+      return layer.kind == OpKind::kDepthwiseConv
+                 ? execute_depthwise(layer, op, input, weight, sim)
+                 : execute_standard_conv(layer, op, input, weight, sim);
+    case PrimitiveKind::kChannelwiseTile:
+      return execute_channelwise_conv(layer, op, input, weight, sim);
+    case PrimitiveKind::kFuse1DLine:
+      return execute_fuse(layer, op, input, weight, sim);
   }
+  FUSE_CHECK(false) << "unknown primitive kind for layer " << layer.name;
   return {};
 }
 

@@ -32,11 +32,15 @@ struct LayerExecution {
 ///   fuse col       [C, 1, k, 1]
 ///   fully connected [out_f, in_f]
 ///
-/// Supported kinds: the latency-bearing ones. Strided FuSe layers execute
-/// with the dense-compute-and-discard flow (the shift-register dataflow
-/// cannot skip outputs; see ArrayConfig::strided_fuse_dense_compute), so
-/// their measured cycles match the default latency model. Glue ops
-/// (pool/activation/add) do not run on the array and are rejected.
+/// The layer is lowered through systolic::lower() and the resulting
+/// MappingPlan picks the execution path — including the channelwise
+/// standard-conv mapping and the serialized no-broadcast FuSe fallback —
+/// so measured cycles track the analytic model for every config. Strided
+/// broadcast FuSe layers execute with the dense-compute-and-discard flow
+/// (the shift-register dataflow cannot skip outputs; see
+/// ArrayConfig::strided_fuse_dense_compute), so their measured cycles
+/// match the default latency model. Glue ops (pool/activation/add) and
+/// grouped convs do not run on the array and are rejected.
 LayerExecution execute_layer_on_array(const nn::LayerDesc& layer,
                                       const tensor::Tensor& input,
                                       const tensor::Tensor& weight,

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "sched/latency_cache.hpp"
+#include "systolic/mapping.hpp"
 #include "util/check.hpp"
 
 namespace fuse::sched {
@@ -24,167 +25,15 @@ LatencyEstimate cached_layer_latency(const LayerDesc& layer,
 
 LatencyEstimate layer_latency(const LayerDesc& layer,
                               const ArrayConfig& cfg) {
-  switch (layer.kind) {
-    case OpKind::kStandardConv:
-      if (cfg.standard_conv_mapping ==
-          systolic::StandardConvMapping::kChannelwise) {
-        return systolic::conv_channelwise_latency(
-            layer.out_h, layer.out_w, layer.kernel_h, layer.kernel_w,
-            layer.in_c, layer.out_c, cfg);
-      }
-      return systolic::conv_im2col_latency(layer.out_h, layer.out_w,
-                                           layer.kernel_h, layer.kernel_w,
-                                           layer.in_c, layer.out_c, cfg);
-    case OpKind::kGroupedConv: {
-      // Each group is an independent im2col matmul over its own channels.
-      const std::int64_t group_in = layer.in_c / layer.groups;
-      const std::int64_t group_out = layer.out_c / layer.groups;
-      const LatencyEstimate per_group = systolic::conv_im2col_latency(
-          layer.out_h, layer.out_w, layer.kernel_h, layer.kernel_w,
-          group_in, group_out, cfg);
-      LatencyEstimate est;
-      est.pe_count = cfg.pe_count();
-      est.cycles = per_group.cycles * static_cast<std::uint64_t>(layer.groups);
-      est.folds = per_group.folds * static_cast<std::uint64_t>(layer.groups);
-      est.mac_ops =
-          per_group.mac_ops * static_cast<std::uint64_t>(layer.groups);
-      return est;
-    }
-    case OpKind::kDepthwiseConv:
-      FUSE_CHECK(layer.kernel_h == layer.kernel_w)
-          << "depthwise latency assumes square kernels, layer "
-          << layer.name;
-      return systolic::depthwise_im2col_latency(
-          layer.out_c, layer.out_h, layer.out_w, layer.kernel_h, cfg);
-    case OpKind::kPointwiseConv:
-      return systolic::matmul_latency(layer.out_h * layer.out_w, layer.in_c,
-                                      layer.out_c, cfg);
-    case OpKind::kFuseRowConv: {
-      // One 1-D convolution per (channel, output row): out_h lines per
-      // channel (strided rows are whole lines and ARE skipped), each
-      // producing out_w outputs from kernel_w taps. With a horizontal
-      // stride the shift-register flow computes the dense output and
-      // discards (see ArrayConfig::strided_fuse_dense_compute).
-      const std::int64_t lines = layer.out_c * layer.out_h;
-      std::int64_t line_out = layer.out_w;
-      if (cfg.strided_fuse_dense_compute && layer.stride_w > 1) {
-        line_out = layer.in_w + 2 * layer.pad_w - layer.kernel_w + 1;
-      }
-      if (cfg.broadcast_links) {
-        return systolic::fuse1d_latency(lines, line_out, layer.kernel_w,
-                                        cfg);
-      }
-      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
-                                                   layer.kernel_w, cfg);
-    }
-    case OpKind::kFuseColConv: {
-      const std::int64_t lines = layer.out_c * layer.out_w;
-      std::int64_t line_out = layer.out_h;
-      if (cfg.strided_fuse_dense_compute && layer.stride_h > 1) {
-        line_out = layer.in_h + 2 * layer.pad_h - layer.kernel_h + 1;
-      }
-      if (cfg.broadcast_links) {
-        return systolic::fuse1d_latency(lines, line_out, layer.kernel_h,
-                                        cfg);
-      }
-      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
-                                                   layer.kernel_h, cfg);
-    }
-    case OpKind::kFullyConnected:
-      return systolic::fully_connected_latency(layer.in_c, layer.out_c, cfg);
-    case OpKind::kAvgPool:
-    case OpKind::kMaxPool:
-    case OpKind::kGlobalAvgPool:
-    case OpKind::kActivation:
-    case OpKind::kElementwiseAdd: {
-      LatencyEstimate zero;
-      zero.pe_count = cfg.pe_count();
-      return zero;
-    }
-  }
-  FUSE_CHECK(false) << "unknown op kind for layer " << layer.name;
-  return {};
+  // All per-OpKind mapping decisions live in systolic::lower(); this is
+  // just a fold over the resulting primitive ops.
+  return systolic::lower(layer, cfg).total_latency();
 }
 
 LatencyEstimate layer_latency_batched(const LayerDesc& layer,
                                       const ArrayConfig& cfg,
                                       std::int64_t batch) {
-  FUSE_CHECK(batch >= 1) << "batch must be >= 1";
-  switch (layer.kind) {
-    case OpKind::kStandardConv:
-      return systolic::matmul_latency(batch * layer.out_h * layer.out_w,
-                                      layer.kernel_h * layer.kernel_w *
-                                          layer.in_c,
-                                      layer.out_c, cfg);
-    case OpKind::kGroupedConv: {
-      const LatencyEstimate per_group = systolic::matmul_latency(
-          batch * layer.out_h * layer.out_w,
-          layer.kernel_h * layer.kernel_w * (layer.in_c / layer.groups),
-          layer.out_c / layer.groups, cfg);
-      LatencyEstimate est;
-      est.pe_count = cfg.pe_count();
-      est.cycles = per_group.cycles * static_cast<std::uint64_t>(layer.groups);
-      est.folds = per_group.folds * static_cast<std::uint64_t>(layer.groups);
-      est.mac_ops =
-          per_group.mac_ops * static_cast<std::uint64_t>(layer.groups);
-      return est;
-    }
-    case OpKind::kDepthwiseConv: {
-      const LatencyEstimate per_channel = systolic::matmul_latency(
-          batch * layer.out_h * layer.out_w,
-          layer.kernel_h * layer.kernel_w, /*n=*/1, cfg);
-      LatencyEstimate est;
-      est.pe_count = cfg.pe_count();
-      est.cycles = per_channel.cycles * static_cast<std::uint64_t>(layer.out_c);
-      est.folds = per_channel.folds * static_cast<std::uint64_t>(layer.out_c);
-      est.mac_ops =
-          per_channel.mac_ops * static_cast<std::uint64_t>(layer.out_c);
-      return est;
-    }
-    case OpKind::kPointwiseConv:
-      return systolic::matmul_latency(batch * layer.out_h * layer.out_w,
-                                      layer.in_c, layer.out_c, cfg);
-    case OpKind::kFuseRowConv: {
-      const std::int64_t lines = batch * layer.out_c * layer.out_h;
-      std::int64_t line_out = layer.out_w;
-      if (cfg.strided_fuse_dense_compute && layer.stride_w > 1) {
-        line_out = layer.in_w + 2 * layer.pad_w - layer.kernel_w + 1;
-      }
-      if (cfg.broadcast_links) {
-        return systolic::fuse1d_latency(lines, line_out, layer.kernel_w,
-                                        cfg);
-      }
-      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
-                                                   layer.kernel_w, cfg);
-    }
-    case OpKind::kFuseColConv: {
-      const std::int64_t lines = batch * layer.out_c * layer.out_w;
-      std::int64_t line_out = layer.out_h;
-      if (cfg.strided_fuse_dense_compute && layer.stride_h > 1) {
-        line_out = layer.in_h + 2 * layer.pad_h - layer.kernel_h + 1;
-      }
-      if (cfg.broadcast_links) {
-        return systolic::fuse1d_latency(lines, line_out, layer.kernel_h,
-                                        cfg);
-      }
-      return systolic::fuse1d_no_broadcast_latency(lines, line_out,
-                                                   layer.kernel_h, cfg);
-    }
-    case OpKind::kFullyConnected:
-      // The batch fills the otherwise single-row mapping.
-      return systolic::matmul_latency(batch, layer.in_c, layer.out_c, cfg);
-    case OpKind::kAvgPool:
-    case OpKind::kMaxPool:
-    case OpKind::kGlobalAvgPool:
-    case OpKind::kActivation:
-    case OpKind::kElementwiseAdd: {
-      LatencyEstimate zero;
-      zero.pe_count = cfg.pe_count();
-      return zero;
-    }
-  }
-  FUSE_CHECK(false) << "unknown op kind for layer " << layer.name;
-  return {};
+  return systolic::lower_batched(layer, cfg, batch).total_latency();
 }
 
 std::uint64_t network_latency_batched(const NetworkModel& model,
@@ -364,50 +213,7 @@ double speedup_vs_baseline(NetworkId id, NetworkVariant variant,
 systolic::TrafficEstimate layer_traffic(const LayerDesc& layer,
                                         const ArrayConfig& cfg,
                                         const systolic::MemoryConfig& mem) {
-  switch (layer.kind) {
-    case OpKind::kStandardConv:
-      return systolic::conv_im2col_traffic(layer.out_h, layer.out_w,
-                                           layer.kernel_h, layer.kernel_w,
-                                           layer.in_c, layer.out_c, cfg,
-                                           mem);
-    case OpKind::kGroupedConv: {
-      const systolic::TrafficEstimate per_group =
-          systolic::conv_im2col_traffic(
-              layer.out_h, layer.out_w, layer.kernel_h, layer.kernel_w,
-              layer.in_c / layer.groups, layer.out_c / layer.groups, cfg,
-              mem);
-      systolic::TrafficEstimate traffic;
-      for (std::int64_t g = 0; g < layer.groups; ++g) {
-        traffic += per_group;
-      }
-      return traffic;
-    }
-    case OpKind::kDepthwiseConv:
-      return systolic::depthwise_im2col_traffic(
-          layer.out_c, layer.out_h, layer.out_w, layer.kernel_h, cfg, mem);
-    case OpKind::kPointwiseConv:
-      return systolic::matmul_traffic(layer.out_h * layer.out_w, layer.in_c,
-                                      layer.out_c, cfg, mem);
-    case OpKind::kFuseRowConv:
-      return systolic::fuse1d_traffic(layer.out_c * layer.out_h,
-                                      layer.out_w, layer.kernel_w, cfg,
-                                      mem);
-    case OpKind::kFuseColConv:
-      return systolic::fuse1d_traffic(layer.out_c * layer.out_w,
-                                      layer.out_h, layer.kernel_h, cfg,
-                                      mem);
-    case OpKind::kFullyConnected:
-      return systolic::fully_connected_traffic(layer.in_c, layer.out_c, cfg,
-                                               mem);
-    case OpKind::kAvgPool:
-    case OpKind::kMaxPool:
-    case OpKind::kGlobalAvgPool:
-    case OpKind::kActivation:
-    case OpKind::kElementwiseAdd:
-      return {};
-  }
-  FUSE_CHECK(false) << "unknown op kind for layer " << layer.name;
-  return {};
+  return systolic::plan_traffic(systolic::lower(layer, cfg), cfg, mem);
 }
 
 NetworkRoofline network_roofline(const NetworkModel& model,

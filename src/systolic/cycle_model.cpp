@@ -1,5 +1,6 @@
 #include "systolic/cycle_model.hpp"
 
+#include "systolic/mapping.hpp"
 #include "util/check.hpp"
 
 namespace fuse::systolic {
@@ -47,24 +48,20 @@ LatencyEstimate matmul_latency_os(std::int64_t m, std::int64_t t,
   LatencyEstimate est;
   est.pe_count = cfg.pe_count();
   std::int64_t last_rows = 0;
-  for (std::int64_t row0 = 0; row0 < m; row0 += cfg.rows) {
-    const std::int64_t used_rows = std::min(cfg.rows, m - row0);
-    for (std::int64_t col0 = 0; col0 < n; col0 += cfg.cols) {
-      const std::int64_t used_cols = std::min(cfg.cols, n - col0);
-      if (cfg.overlap_fold_drain) {
-        // Drain overlaps the next fold's fill; only the last fold pays it.
-        est.cycles += static_cast<std::uint64_t>((used_rows - 1) +
-                                                 (used_cols - 1) + t);
-        last_rows = used_rows;
-      } else {
-        est.cycles += fold_cycles(used_rows, used_cols, t);
-      }
-      est.folds += 1;
-      est.mac_ops += static_cast<std::uint64_t>(used_rows) *
-                     static_cast<std::uint64_t>(used_cols) *
-                     static_cast<std::uint64_t>(t);
+  for_each_fold_tile(m, n, cfg, [&](const FoldTile& tile) {
+    if (cfg.overlap_fold_drain) {
+      // Drain overlaps the next fold's fill; only the last fold pays it.
+      est.cycles += static_cast<std::uint64_t>((tile.rows - 1) +
+                                               (tile.cols - 1) + t);
+      last_rows = tile.rows;
+    } else {
+      est.cycles += fold_cycles(tile.rows, tile.cols, t);
     }
-  }
+    est.folds += 1;
+    est.mac_ops += static_cast<std::uint64_t>(tile.rows) *
+                   static_cast<std::uint64_t>(tile.cols) *
+                   static_cast<std::uint64_t>(t);
+  });
   if (cfg.overlap_fold_drain) {
     est.cycles += static_cast<std::uint64_t>(last_rows);
   }
@@ -79,23 +76,22 @@ LatencyEstimate matmul_latency_ws(std::int64_t m, std::int64_t t,
   LatencyEstimate est;
   est.pe_count = cfg.pe_count();
   bool first_fold = true;
-  for (std::int64_t t0 = 0; t0 < t; t0 += cfg.rows) {
-    const std::int64_t used_t = std::min(cfg.rows, t - t0);
-    for (std::int64_t col0 = 0; col0 < n; col0 += cfg.cols) {
-      const std::int64_t used_n = std::min(cfg.cols, n - col0);
-      // Preload hides behind the previous fold's streaming when weights
-      // are double-buffered.
-      if (first_fold || !cfg.overlap_fold_drain) {
-        est.cycles += static_cast<std::uint64_t>(used_t);
-      }
-      first_fold = false;
-      est.cycles += static_cast<std::uint64_t>(m + used_t + used_n - 2);
-      est.folds += 1;
-      est.mac_ops += static_cast<std::uint64_t>(m) *
-                     static_cast<std::uint64_t>(used_t) *
-                     static_cast<std::uint64_t>(used_n);
+  // Weight tiles: reduction depth over the array rows, N over the columns.
+  for_each_fold_tile(t, n, cfg, [&](const FoldTile& tile) {
+    const std::int64_t used_t = tile.rows;
+    const std::int64_t used_n = tile.cols;
+    // Preload hides behind the previous fold's streaming when weights
+    // are double-buffered.
+    if (first_fold || !cfg.overlap_fold_drain) {
+      est.cycles += static_cast<std::uint64_t>(used_t);
     }
-  }
+    first_fold = false;
+    est.cycles += static_cast<std::uint64_t>(m + used_t + used_n - 2);
+    est.folds += 1;
+    est.mac_ops += static_cast<std::uint64_t>(m) *
+                   static_cast<std::uint64_t>(used_t) *
+                   static_cast<std::uint64_t>(used_n);
+  });
   return est;
 }
 
@@ -107,21 +103,20 @@ LatencyEstimate matmul_latency_is(std::int64_t m, std::int64_t t,
   LatencyEstimate est;
   est.pe_count = cfg.pe_count();
   bool first_fold = true;
-  for (std::int64_t row0 = 0; row0 < m; row0 += cfg.rows) {
-    const std::int64_t used_m = std::min(cfg.rows, m - row0);
-    for (std::int64_t t0 = 0; t0 < t; t0 += cfg.cols) {
-      const std::int64_t used_t = std::min(cfg.cols, t - t0);
-      if (first_fold || !cfg.overlap_fold_drain) {
-        est.cycles += static_cast<std::uint64_t>(used_m);
-      }
-      first_fold = false;
-      est.cycles += static_cast<std::uint64_t>(n + used_m + used_t - 2);
-      est.folds += 1;
-      est.mac_ops += static_cast<std::uint64_t>(n) *
-                     static_cast<std::uint64_t>(used_m) *
-                     static_cast<std::uint64_t>(used_t);
+  // Activation tiles: M over the array rows, reduction depth over columns.
+  for_each_fold_tile(m, t, cfg, [&](const FoldTile& tile) {
+    const std::int64_t used_m = tile.rows;
+    const std::int64_t used_t = tile.cols;
+    if (first_fold || !cfg.overlap_fold_drain) {
+      est.cycles += static_cast<std::uint64_t>(used_m);
     }
-  }
+    first_fold = false;
+    est.cycles += static_cast<std::uint64_t>(n + used_m + used_t - 2);
+    est.folds += 1;
+    est.mac_ops += static_cast<std::uint64_t>(n) *
+                   static_cast<std::uint64_t>(used_m) *
+                   static_cast<std::uint64_t>(used_t);
+  });
   return est;
 }
 
@@ -179,24 +174,20 @@ LatencyEstimate fuse1d_latency(std::int64_t lines, std::int64_t line_out,
   LatencyEstimate est;
   est.pe_count = cfg.pe_count();
   std::int64_t last_rows = 0;
-  for (std::int64_t line0 = 0; line0 < lines; line0 += cfg.rows) {
-    const std::int64_t used_rows = std::min(cfg.rows, lines - line0);
-    for (std::int64_t out0 = 0; out0 < line_out; out0 += cfg.cols) {
-      const std::int64_t used_cols = std::min(cfg.cols, line_out - out0);
-      // Input skew along the row + k broadcast MAC cycles (+ drain, unless
-      // it overlaps the next wave's fill).
-      est.cycles += static_cast<std::uint64_t>((used_cols - 1) + k);
-      if (cfg.overlap_fold_drain) {
-        last_rows = used_rows;
-      } else {
-        est.cycles += static_cast<std::uint64_t>(used_rows);
-      }
-      est.folds += 1;
-      est.mac_ops += static_cast<std::uint64_t>(used_rows) *
-                     static_cast<std::uint64_t>(used_cols) *
-                     static_cast<std::uint64_t>(k);
+  for_each_fold_tile(lines, line_out, cfg, [&](const FoldTile& tile) {
+    // Input skew along the row + k broadcast MAC cycles (+ drain, unless
+    // it overlaps the next wave's fill).
+    est.cycles += static_cast<std::uint64_t>((tile.cols - 1) + k);
+    if (cfg.overlap_fold_drain) {
+      last_rows = tile.rows;
+    } else {
+      est.cycles += static_cast<std::uint64_t>(tile.rows);
     }
-  }
+    est.folds += 1;
+    est.mac_ops += static_cast<std::uint64_t>(tile.rows) *
+                   static_cast<std::uint64_t>(tile.cols) *
+                   static_cast<std::uint64_t>(k);
+  });
   if (cfg.overlap_fold_drain) {
     est.cycles += static_cast<std::uint64_t>(last_rows);
   }

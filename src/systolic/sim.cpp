@@ -42,10 +42,12 @@ SimResult SystolicArraySim::matmul_os(const Tensor& a, const Tensor& b) {
   result.output = Tensor(Shape{m, n});
   result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
 
-  for (std::int64_t row0 = 0; row0 < m; row0 += cfg_.rows) {
-    const std::int64_t used_rows = std::min(cfg_.rows, m - row0);
-    for (std::int64_t col0 = 0; col0 < n; col0 += cfg_.cols) {
-      const std::int64_t used_cols = std::min(cfg_.cols, n - col0);
+  for_each_fold_tile(m, n, cfg_, [&](const FoldTile& tile) {
+    {
+      const std::int64_t row0 = tile.a0;
+      const std::int64_t used_rows = tile.rows;
+      const std::int64_t col0 = tile.b0;
+      const std::int64_t used_cols = tile.cols;
       result.folds += 1;
 
       // Per-PE state. reg_* hold the operand a PE exposes to its neighbor
@@ -111,7 +113,7 @@ SimResult SystolicArraySim::matmul_os(const Tensor& a, const Tensor& b) {
       result.cycles += static_cast<std::uint64_t>(compute_cycles) +
                        static_cast<std::uint64_t>(used_rows);
     }
-  }
+  });
   return result;
 }
 
@@ -133,10 +135,14 @@ SimResult SystolicArraySim::matmul_ws(const Tensor& a, const Tensor& b) {
   // the analytic model).
   std::vector<double> acc(static_cast<std::size_t>(m * n), 0.0);
 
-  for (std::int64_t t0 = 0; t0 < depth; t0 += cfg_.rows) {
-    const std::int64_t used_t = std::min(cfg_.rows, depth - t0);
-    for (std::int64_t col0 = 0; col0 < n; col0 += cfg_.cols) {
-      const std::int64_t used_n = std::min(cfg_.cols, n - col0);
+  // Weight tiles: reduction depth over the array rows, N over the columns
+  // (the same grid matmul_latency_ws walks).
+  for_each_fold_tile(depth, n, cfg_, [&](const FoldTile& tile) {
+    {
+      const std::int64_t t0 = tile.a0;
+      const std::int64_t used_t = tile.rows;
+      const std::int64_t col0 = tile.b0;
+      const std::int64_t used_n = tile.cols;
       result.folds += 1;
 
       const auto idx = [&](std::int64_t i, std::int64_t j) {
@@ -197,7 +203,7 @@ SimResult SystolicArraySim::matmul_ws(const Tensor& a, const Tensor& b) {
       }
       result.cycles += static_cast<std::uint64_t>(stream_cycles);
     }
-  }
+  });
   for (std::int64_t i = 0; i < m * n; ++i) {
     result.output[i] = static_cast<float>(acc[static_cast<std::size_t>(i)]);
   }
@@ -219,10 +225,14 @@ SimResult SystolicArraySim::matmul_is(const Tensor& a, const Tensor& b) {
   result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
   std::vector<double> acc(static_cast<std::size_t>(m * n), 0.0);
 
-  for (std::int64_t row0 = 0; row0 < m; row0 += cfg_.rows) {
-    const std::int64_t used_m = std::min(cfg_.rows, m - row0);
-    for (std::int64_t t0 = 0; t0 < depth; t0 += cfg_.cols) {
-      const std::int64_t used_t = std::min(cfg_.cols, depth - t0);
+  // Activation tiles: M over the array rows, reduction depth over columns
+  // (the same grid matmul_latency_is walks).
+  for_each_fold_tile(m, depth, cfg_, [&](const FoldTile& tile) {
+    {
+      const std::int64_t row0 = tile.a0;
+      const std::int64_t used_m = tile.rows;
+      const std::int64_t t0 = tile.b0;
+      const std::int64_t used_t = tile.cols;
       result.folds += 1;
 
       const auto idx = [&](std::int64_t i, std::int64_t j) {
@@ -280,7 +290,7 @@ SimResult SystolicArraySim::matmul_is(const Tensor& a, const Tensor& b) {
       }
       result.cycles += static_cast<std::uint64_t>(stream_cycles);
     }
-  }
+  });
   for (std::int64_t i = 0; i < m * n; ++i) {
     result.output[i] = static_cast<float>(acc[static_cast<std::size_t>(i)]);
   }
@@ -307,10 +317,12 @@ SimResult SystolicArraySim::conv1d_broadcast(const Tensor& lines,
   result.output = Tensor(Shape{num_lines, out_w});
   result.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
 
-  for (std::int64_t line0 = 0; line0 < num_lines; line0 += cfg_.rows) {
-    const std::int64_t used_rows = std::min(cfg_.rows, num_lines - line0);
-    for (std::int64_t out0 = 0; out0 < out_w; out0 += cfg_.cols) {
-      const std::int64_t used_cols = std::min(cfg_.cols, out_w - out0);
+  for_each_fold_tile(num_lines, out_w, cfg_, [&](const FoldTile& tile) {
+    {
+      const std::int64_t line0 = tile.a0;
+      const std::int64_t used_rows = tile.rows;
+      const std::int64_t out0 = tile.b0;
+      const std::int64_t used_cols = tile.cols;
       result.folds += 1;
 
       const auto idx = [&](std::int64_t r, std::int64_t c) {
@@ -365,8 +377,44 @@ SimResult SystolicArraySim::conv1d_broadcast(const Tensor& lines,
       result.cycles += static_cast<std::uint64_t>((used_cols - 1) + taps +
                                                   used_rows);
     }
-  }
+  });
   return result;
+}
+
+SimResult SystolicArraySim::run_plan(const MappingPlan& plan) {
+  SimResult total;
+  total.pe_busy = Tensor(Shape{cfg_.rows, cfg_.cols});
+  for (const PrimitiveOp& op : plan.ops) {
+    // Operand values are irrelevant to the measured cost (busy cycles are
+    // a function of tile geometry only), so zero tensors suffice; one
+    // repeat is simulated and the counters scaled.
+    SimResult unit;
+    switch (op.kind) {
+      case PrimitiveKind::kMatmulTile:
+      case PrimitiveKind::kIm2colTile:
+      case PrimitiveKind::kChannelwiseTile:
+        unit = matmul(Tensor(Shape{op.m, op.k}), Tensor(Shape{op.k, op.n}));
+        break;
+      case PrimitiveKind::kFuse1DLine:
+        if (op.broadcast) {
+          unit = conv1d_broadcast(
+              Tensor(Shape{op.lines, op.line_out + op.taps - 1}),
+              Tensor(Shape{op.lines, op.taps}));
+        } else {
+          unit = matmul(Tensor(Shape{op.line_out, op.taps}),
+                        Tensor(Shape{op.taps, 1}));
+        }
+        break;
+    }
+    const std::uint64_t repeats = static_cast<std::uint64_t>(op.repeats);
+    total.cycles += unit.cycles * repeats;
+    total.folds += unit.folds * repeats;
+    total.mac_ops += unit.mac_ops * repeats;
+    for (std::int64_t i = 0; i < total.pe_busy.num_elements(); ++i) {
+      total.pe_busy[i] += unit.pe_busy[i] * static_cast<float>(op.repeats);
+    }
+  }
+  return total;
 }
 
 std::string render_pe_heatmap(const Tensor& pe_busy) {

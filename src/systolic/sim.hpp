@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "systolic/config.hpp"
+#include "systolic/mapping.hpp"
 #include "tensor/tensor.hpp"
 
 namespace fuse::systolic {
@@ -72,6 +73,17 @@ class SystolicArraySim {
   /// Requires config().broadcast_links.
   SimResult conv1d_broadcast(const tensor::Tensor& lines,
                              const tensor::Tensor& kernels);
+
+  /// Simulates a lowered MappingPlan with synthetic (zero) operands: every
+  /// primitive runs through the PE grid and the measured cycles, folds,
+  /// MACs, and per-PE busy counts are returned; the numeric output is
+  /// discarded (SimResult::output stays empty). Identical repeats are
+  /// simulated once and scaled — every repeat is the same array pass.
+  /// This is the simulator leg of the analytic == simulated == plan-folded
+  /// differential property (tests/test_mapping.cpp); the cycle counts
+  /// match the analytic model when cfg.overlap_fold_drain is off (the
+  /// simulator always pays each fold's drain).
+  SimResult run_plan(const MappingPlan& plan);
 
  private:
   ArrayConfig cfg_;

@@ -14,45 +14,85 @@ std::uint64_t FoldTrace::peak_fold_bytes() const {
   return peak;
 }
 
+namespace {
+
+/// Appends one output-stationary matmul pass [M, T] x [T, N] to `trace`,
+/// advancing `cursor`. Each pass pays its own final drain under
+/// overlap_fold_drain — the same accounting as matmul_latency_os per
+/// operator, so repeated passes sum to the analytic repeats * unit.
+void append_matmul_walk(std::int64_t m, std::int64_t t, std::int64_t n,
+                        const ArrayConfig& cfg, const MemoryConfig& mem,
+                        FoldTrace& trace, std::uint64_t& cursor) {
+  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
+  std::int64_t last_rows = 0;
+  for_each_fold_tile(m, n, cfg, [&](const FoldTile& tile) {
+    FoldRecord fold;
+    fold.used_rows = tile.rows;
+    fold.used_cols = tile.cols;
+    fold.depth = t;
+    fold.input_bytes = static_cast<std::uint64_t>(tile.rows * t) * dtype;
+    fold.weight_bytes = static_cast<std::uint64_t>(t * tile.cols) * dtype;
+    fold.output_bytes =
+        static_cast<std::uint64_t>(tile.rows * tile.cols) * dtype;
+    std::uint64_t cycles =
+        static_cast<std::uint64_t>((tile.rows - 1) + (tile.cols - 1) + t);
+    if (!cfg.overlap_fold_drain) {
+      cycles += static_cast<std::uint64_t>(tile.rows);
+    }
+    last_rows = tile.rows;
+    fold.start_cycle = cursor;
+    fold.end_cycle = cursor + cycles;
+    cursor = fold.end_cycle;
+    trace.folds.push_back(fold);
+  });
+  if (cfg.overlap_fold_drain) {
+    cursor += static_cast<std::uint64_t>(last_rows);
+  }
+}
+
+/// Appends one broadcast-dataflow FuSe pass (`lines` 1-D signals, k taps)
+/// to `trace`, advancing `cursor`; mirrors fuse1d_latency.
+void append_fuse1d_walk(std::int64_t lines, std::int64_t line_out,
+                        std::int64_t k, const ArrayConfig& cfg,
+                        const MemoryConfig& mem, FoldTrace& trace,
+                        std::uint64_t& cursor) {
+  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
+  std::int64_t last_rows = 0;
+  for_each_fold_tile(lines, line_out, cfg, [&](const FoldTile& tile) {
+    FoldRecord fold;
+    fold.used_rows = tile.rows;
+    fold.used_cols = tile.cols;
+    fold.depth = k;
+    fold.input_bytes =
+        static_cast<std::uint64_t>(tile.rows * (tile.cols + k - 1)) * dtype;
+    fold.weight_bytes = static_cast<std::uint64_t>(tile.rows * k) * dtype;
+    fold.output_bytes =
+        static_cast<std::uint64_t>(tile.rows * tile.cols) * dtype;
+    std::uint64_t cycles = static_cast<std::uint64_t>((tile.cols - 1) + k);
+    if (!cfg.overlap_fold_drain) {
+      cycles += static_cast<std::uint64_t>(tile.rows);
+    }
+    last_rows = tile.rows;
+    fold.start_cycle = cursor;
+    fold.end_cycle = cursor + cycles;
+    cursor = fold.end_cycle;
+    trace.folds.push_back(fold);
+  });
+  if (cfg.overlap_fold_drain) {
+    cursor += static_cast<std::uint64_t>(last_rows);
+  }
+}
+
+}  // namespace
+
 FoldTrace matmul_trace(std::int64_t m, std::int64_t t, std::int64_t n,
                        const ArrayConfig& cfg, const MemoryConfig& mem) {
   cfg.validate();
   mem.validate();
   FUSE_CHECK(m > 0 && t > 0 && n > 0) << "matmul_trace dims";
-  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
-
   FoldTrace trace;
   std::uint64_t cursor = 0;
-  std::int64_t last_rows = 0;
-  for (std::int64_t row0 = 0; row0 < m; row0 += cfg.rows) {
-    const std::int64_t used_rows = std::min(cfg.rows, m - row0);
-    for (std::int64_t col0 = 0; col0 < n; col0 += cfg.cols) {
-      const std::int64_t used_cols = std::min(cfg.cols, n - col0);
-      FoldRecord fold;
-      fold.used_rows = used_rows;
-      fold.used_cols = used_cols;
-      fold.depth = t;
-      fold.input_bytes =
-          static_cast<std::uint64_t>(used_rows * t) * dtype;
-      fold.weight_bytes =
-          static_cast<std::uint64_t>(t * used_cols) * dtype;
-      fold.output_bytes =
-          static_cast<std::uint64_t>(used_rows * used_cols) * dtype;
-      std::uint64_t cycles = static_cast<std::uint64_t>(
-          (used_rows - 1) + (used_cols - 1) + t);
-      if (!cfg.overlap_fold_drain) {
-        cycles += static_cast<std::uint64_t>(used_rows);
-      }
-      last_rows = used_rows;
-      fold.start_cycle = cursor;
-      fold.end_cycle = cursor + cycles;
-      cursor = fold.end_cycle;
-      trace.folds.push_back(fold);
-    }
-  }
-  if (cfg.overlap_fold_drain) {
-    cursor += static_cast<std::uint64_t>(last_rows);
-  }
+  append_matmul_walk(m, t, n, cfg, mem, trace, cursor);
   trace.total_cycles = cursor;
   return trace;
 }
@@ -65,39 +105,38 @@ FoldTrace fuse1d_trace(std::int64_t lines, std::int64_t line_out,
   FUSE_CHECK(cfg.broadcast_links)
       << "fuse1d_trace models the broadcast dataflow";
   FUSE_CHECK(lines > 0 && line_out > 0 && k > 0) << "fuse1d_trace dims";
-  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
-
   FoldTrace trace;
   std::uint64_t cursor = 0;
-  std::int64_t last_rows = 0;
-  for (std::int64_t line0 = 0; line0 < lines; line0 += cfg.rows) {
-    const std::int64_t used_rows = std::min(cfg.rows, lines - line0);
-    for (std::int64_t out0 = 0; out0 < line_out; out0 += cfg.cols) {
-      const std::int64_t used_cols = std::min(cfg.cols, line_out - out0);
-      FoldRecord fold;
-      fold.used_rows = used_rows;
-      fold.used_cols = used_cols;
-      fold.depth = k;
-      fold.input_bytes = static_cast<std::uint64_t>(
-                             used_rows * (used_cols + k - 1)) *
-                         dtype;
-      fold.weight_bytes = static_cast<std::uint64_t>(used_rows * k) * dtype;
-      fold.output_bytes =
-          static_cast<std::uint64_t>(used_rows * used_cols) * dtype;
-      std::uint64_t cycles =
-          static_cast<std::uint64_t>((used_cols - 1) + k);
-      if (!cfg.overlap_fold_drain) {
-        cycles += static_cast<std::uint64_t>(used_rows);
+  append_fuse1d_walk(lines, line_out, k, cfg, mem, trace, cursor);
+  trace.total_cycles = cursor;
+  return trace;
+}
+
+FoldTrace plan_trace(const MappingPlan& plan, const ArrayConfig& cfg,
+                     const MemoryConfig& mem) {
+  cfg.validate();
+  mem.validate();
+  FoldTrace trace;
+  std::uint64_t cursor = 0;
+  for (const PrimitiveOp& op : plan.ops) {
+    for (std::int64_t r = 0; r < op.repeats; ++r) {
+      switch (op.kind) {
+        case PrimitiveKind::kMatmulTile:
+        case PrimitiveKind::kIm2colTile:
+        case PrimitiveKind::kChannelwiseTile:
+          append_matmul_walk(op.m, op.k, op.n, cfg, mem, trace, cursor);
+          break;
+        case PrimitiveKind::kFuse1DLine:
+          if (op.broadcast) {
+            append_fuse1d_walk(op.lines, op.line_out, op.taps, cfg, mem,
+                               trace, cursor);
+          } else {
+            append_matmul_walk(op.line_out, op.taps, /*n=*/1, cfg, mem,
+                               trace, cursor);
+          }
+          break;
       }
-      last_rows = used_rows;
-      fold.start_cycle = cursor;
-      fold.end_cycle = cursor + cycles;
-      cursor = fold.end_cycle;
-      trace.folds.push_back(fold);
     }
-  }
-  if (cfg.overlap_fold_drain) {
-    cursor += static_cast<std::uint64_t>(last_rows);
   }
   trace.total_cycles = cursor;
   return trace;

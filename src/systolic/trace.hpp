@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "systolic/config.hpp"
+#include "systolic/mapping.hpp"
 #include "systolic/memory.hpp"
 
 namespace fuse::systolic {
@@ -49,6 +50,13 @@ FoldTrace matmul_trace(std::int64_t m, std::int64_t t, std::int64_t n,
 FoldTrace fuse1d_trace(std::int64_t lines, std::int64_t line_out,
                        std::int64_t k, const ArrayConfig& cfg,
                        const MemoryConfig& mem);
+
+/// Trace of a whole lowered layer: every primitive op expanded over its
+/// repeats (each repeat is a full array pass — e.g. one per depthwise
+/// channel), concatenated on one cycle axis. On the output-stationary
+/// dataflow total_cycles matches plan.total_latency().cycles exactly.
+FoldTrace plan_trace(const MappingPlan& plan, const ArrayConfig& cfg,
+                     const MemoryConfig& mem);
 
 /// Writes one CSV row per fold.
 void write_fold_trace_csv(const FoldTrace& trace, const std::string& path);

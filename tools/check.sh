@@ -1,27 +1,30 @@
 #!/usr/bin/env bash
-# Full verification gate for the sweep engine:
+# Full verification gate:
 #   1. default build + complete test suite,
 #   2. ThreadSanitizer build running the concurrency suites
 #      (test_thread_pool, test_sweep_determinism, test_properties),
-#   3. bench determinism: every bench binary's output must be
+#   3. AddressSanitizer build running the mapping/executor suites
+#      (test_mapping, test_execute, test_systolic_sim),
+#   4. bench determinism: every bench binary's output must be
 #      byte-identical between --threads=1 --no-cache and --threads=8
 #      (only the "sweep: ..." wall-time footer may differ).
 #
-# Usage: tools/check.sh [build-dir] [tsan-build-dir]
+# Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
+ASAN_DIR="${3:-build-asan}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
-echo "=== [1/3] default build + full test suite ==="
+echo "=== [1/4] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/3] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/4] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -32,7 +35,18 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/3] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [3/4] AddressSanitizer build + mapping/executor suites ==="
+ASAN_TESTS=(test_mapping test_execute test_systolic_sim)
+cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_DIR" -j "$(nproc)" --target "${ASAN_TESTS[@]}"
+for t in "${ASAN_TESTS[@]}"; do
+  echo "--- $t (ASan) ---"
+  "$ASAN_DIR/tests/$t"
+done
+
+echo
+echo "=== [4/4] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
