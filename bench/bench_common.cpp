@@ -3,15 +3,34 @@
 #include <cstdio>
 
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_sink.hpp"
 
 namespace fuse::bench {
 
+void add_telemetry_flags(util::CliFlags& flags) {
+  flags.add_string("trace-json", "",
+                   "write runtime span timeline here (Perfetto JSON)");
+  flags.add_string("stats-json", "",
+                   "write the metrics registry here as JSON");
+}
+
 SweepHarness::SweepHarness(util::CliFlags& flags) {
   sched::add_sweep_flags(flags);
+  add_telemetry_flags(flags);
 }
+
+SweepHarness::~SweepHarness() { finalize(); }
 
 sched::SweepEngine& SweepHarness::engine(const util::CliFlags& flags) {
   FUSE_CHECK(!engine_) << "SweepHarness::engine called twice";
+  trace_path_ = flags.get_string("trace-json");
+  stats_path_ = flags.get_string("stats-json");
+  if (!trace_path_.empty() && util::telemetry_enabled()) {
+    sink_ = std::make_unique<util::TraceSink>();
+    sink_->process_name("fuseconv sweep (ts unit = wall us)");
+    util::set_global_trace_sink(sink_.get());
+  }
   engine_.emplace(sched::sweep_options_from_flags(flags));
   start_ = std::chrono::steady_clock::now();
   return *engine_;
@@ -25,10 +44,28 @@ void SweepHarness::stop() {
   }
 }
 
+void SweepHarness::finalize() {
+  if (finalized_) {
+    return;
+  }
+  finalized_ = true;
+  if (sink_) {
+    // Detach before writing so nothing appends mid-serialization. No
+    // parallel work is in flight here: the engine's pool only runs
+    // workers inside parallel_for, which blocks its caller.
+    util::set_global_trace_sink(nullptr);
+    sink_->write_json_file(trace_path_);
+  }
+  if (!stats_path_.empty()) {
+    util::metrics().write_json_file(stats_path_);
+  }
+}
+
 void SweepHarness::print_footer() {
   FUSE_CHECK(engine_) << "SweepHarness::print_footer before engine()";
   stop();
   std::printf("\n%s\n", sched::sweep_stats_line(*engine_, wall_ms_).c_str());
+  finalize();
 }
 
 }  // namespace fuse::bench

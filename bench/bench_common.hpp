@@ -4,6 +4,13 @@
 // prints the same "sweep: ..." cache-stats footer. SweepHarness owns that
 // boilerplate so each bench only contains its own sweep and table.
 //
+// Every bench also gains the telemetry flags: --trace-json=<path> attaches
+// a global trace sink for the engine's lifetime and writes the runtime
+// span timeline (wall-clock us: sweep cells, parallel_fors) on exit;
+// --stats-json=<path> dumps the metrics registry (cache hits/misses,
+// steal counts, per-layer histograms). Both are silent — stdout and CSV
+// output stay byte-identical whether or not the flags are set.
+//
 // Usage:
 //   util::CliFlags flags;
 //   ...bench-specific flags...
@@ -17,33 +24,57 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "sched/sweep.hpp"
 #include "util/cli.hpp"
 
+namespace fuse::util {
+class TraceSink;
+}
+
 namespace fuse::bench {
+
+/// Registers --trace-json/--stats-json on `flags` (both default empty =
+/// off). SweepHarness calls this; standalone tools can reuse it.
+void add_telemetry_flags(util::CliFlags& flags);
 
 class SweepHarness {
  public:
-  /// Registers --threads/--no-cache on `flags`. Call before parse().
+  /// Registers --threads/--no-cache plus the telemetry flags on `flags`.
+  /// Call before parse().
   explicit SweepHarness(util::CliFlags& flags);
 
+  /// Detaches the trace sink and writes any requested telemetry files if
+  /// print_footer() never ran.
+  ~SweepHarness();
+
   /// Builds the engine from the parsed flags and starts the wall clock.
-  /// Call once, after flags.parse().
+  /// When --trace-json is set, also attaches the process-wide trace sink
+  /// so spans emitted under this engine land in the file. Call once,
+  /// after flags.parse().
   sched::SweepEngine& engine(const util::CliFlags& flags);
 
   /// Freezes the wall-clock measurement; later calls are no-ops, so the
   /// timed window ends at the first stop() (or at print_footer()).
   void stop();
 
-  /// Prints the sweep stats footer (stops the clock first if running).
+  /// Prints the sweep stats footer (stops the clock first if running),
+  /// then silently writes --trace-json/--stats-json if requested.
   void print_footer();
 
  private:
+  void finalize();  // detach sink + write files; idempotent, silent
+
   std::optional<sched::SweepEngine> engine_;
   std::chrono::steady_clock::time_point start_;
   double wall_ms_ = -1.0;
+  std::unique_ptr<util::TraceSink> sink_;
+  std::string trace_path_;
+  std::string stats_path_;
+  bool finalized_ = false;
 };
 
 }  // namespace fuse::bench

@@ -88,12 +88,12 @@ int main(int argc, char** argv) {
         systolic::plan_trace(systolic::lower(layer, cfg), cfg, mem);
     systolic::write_fold_trace_csv(trace, trace_path);
     std::printf(
-        "wrote %s: %zu folds of layer '%s' (%s cycles, peak fold %s B, "
-        "double-buffer SRAM %s B)\n",
+        "wrote %s: %zu folds of layer '%s' (%s cycles, peak fold %s, "
+        "double-buffer SRAM %s)\n",
         trace_path.c_str(), trace.folds.size(), layer.name.c_str(),
         util::with_commas(trace.total_cycles).c_str(),
-        util::with_commas(trace.peak_fold_bytes()).c_str(),
-        util::with_commas(trace.double_buffer_bytes()).c_str());
+        util::format_bytes(trace.peak_fold_bytes()).c_str(),
+        util::format_bytes(trace.double_buffer_bytes()).c_str());
   }
   return 0;
 }

@@ -1,0 +1,191 @@
+// profile_network: the full per-layer execution timeline of any zoo
+// network x variant, exported as Perfetto / chrome://tracing JSON.
+//
+// Every latency-bearing layer is lowered to its MappingPlan, expanded to a
+// FoldTrace (systolic::plan_trace), and concatenated on one cycle axis:
+// a span per layer on the "layers" track, a span per fold on the "folds"
+// track, and per-operand SRAM-footprint counter series ("ph":"C"). The
+// timestamp unit is ARRAY CYCLES (one viewer microsecond == one cycle),
+// so the trace's end timestamp equals the analytic network latency — the
+// program checks that identity, and that the summed per-layer PE
+// occupancy matches the MappingPlan-derived utilization, before writing.
+//
+// Usage: profile_network [--net=v2] [--variant=fuse_full] [--size=64]
+//        [--trace-json=profile.json] [--stats-json=] [--fold-events=true]
+//   --net      v1|v2|v3s|v3l|mnas|resnet50 (mobilenet_v2-style long
+//              names accepted)
+//   --variant  baseline|fuse_full|fuse_half|fuse_full50|fuse_half50
+//              (short forms full|half|full50|half50 accepted)
+//   --fold-events=false drops the per-fold spans + SRAM counters (layer
+//              spans only) for small files on fold-heavy baselines.
+#include <cstdio>
+
+#include "sched/latency.hpp"
+#include "systolic/mapping.hpp"
+#include "systolic/trace.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/telemetry.hpp"
+
+using namespace fuse;
+
+namespace {
+
+nets::NetworkId parse_net(const std::string& name) {
+  if (name == "v1" || name == "mobilenet_v1") {
+    return nets::NetworkId::kMobileNetV1;
+  }
+  if (name == "v2" || name == "mobilenet_v2") {
+    return nets::NetworkId::kMobileNetV2;
+  }
+  if (name == "v3s" || name == "mobilenet_v3_small") {
+    return nets::NetworkId::kMobileNetV3Small;
+  }
+  if (name == "v3l" || name == "mobilenet_v3_large") {
+    return nets::NetworkId::kMobileNetV3Large;
+  }
+  if (name == "mnas" || name == "mnasnet" || name == "mnasnet_b1") {
+    return nets::NetworkId::kMnasNetB1;
+  }
+  if (name == "resnet50") {
+    return nets::NetworkId::kResNet50;
+  }
+  FUSE_CHECK(false) << "unknown --net '" << name
+                    << "' (v1|v2|v3s|v3l|mnas|resnet50)";
+  return nets::NetworkId::kMobileNetV2;
+}
+
+core::NetworkVariant parse_variant(const std::string& name) {
+  if (name == "baseline") return core::NetworkVariant::kBaseline;
+  if (name == "full" || name == "fuse_full") {
+    return core::NetworkVariant::kFuseFull;
+  }
+  if (name == "half" || name == "fuse_half") {
+    return core::NetworkVariant::kFuseHalf;
+  }
+  if (name == "full50" || name == "fuse_full50") {
+    return core::NetworkVariant::kFuseFull50;
+  }
+  if (name == "half50" || name == "fuse_half50") {
+    return core::NetworkVariant::kFuseHalf50;
+  }
+  FUSE_CHECK(false) << "unknown --variant '" << name
+                    << "' (baseline|fuse_full|fuse_half|fuse_full50|"
+                       "fuse_half50)";
+  return core::NetworkVariant::kBaseline;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.add_string("net", "v2", "network: v1|v2|v3s|v3l|mnas|resnet50");
+  flags.add_string("variant", "fuse_full",
+                   "baseline|fuse_full|fuse_half|fuse_full50|fuse_half50");
+  flags.add_int("size", 64, "systolic array size (SxS)");
+  flags.add_string("trace-json", "profile.json",
+                   "trace-event output path (open in ui.perfetto.dev)");
+  flags.add_string("stats-json", "",
+                   "also dump the metrics registry as JSON here");
+  flags.add_bool("fold-events", true,
+                 "emit per-fold spans and SRAM counter series");
+  flags.parse(argc, argv);
+
+  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const core::NetworkVariant variant =
+      parse_variant(flags.get_string("variant"));
+  const auto cfg = systolic::square_array(flags.get_int("size"));
+  FUSE_CHECK(id != nets::NetworkId::kResNet50 ||
+             variant == core::NetworkVariant::kBaseline)
+      << "ResNet-50 has no depthwise layers; only --variant=baseline";
+  const bool fold_events = flags.get_bool("fold-events");
+  const systolic::MemoryConfig mem;
+
+  const sched::VariantBuild build = sched::build_variant(id, variant, cfg);
+  const sched::NetworkLatency analytic =
+      sched::network_latency(build.model, cfg);
+
+  util::TraceSink sink;
+  sink.process_name(build.model.name + " " +
+                    core::network_variant_name(variant) + " on " +
+                    cfg.to_string() + " (ts unit = array cycles)");
+  sink.thread_name(systolic::kLayerTrack, "layers");
+  if (fold_events) {
+    sink.thread_name(systolic::kFoldTrack, "folds");
+    sink.thread_name(systolic::kSramTrack, "sram footprint");
+  }
+
+  std::uint64_t cursor = 0;
+  std::uint64_t pe_cycles_busy = 0;
+  std::uint64_t pe_cycles_total = 0;
+  std::uint64_t peak_fold_bytes = 0;
+  std::size_t on_array_layers = 0;
+  for (const nn::LayerDesc& layer : build.model.layers) {
+    const systolic::MappingPlan plan = systolic::lower(layer, cfg);
+    if (plan.ops.empty()) {
+      continue;  // glue op: zero array cycles in the paper's methodology
+    }
+    ++on_array_layers;
+    const systolic::FoldTrace trace = systolic::plan_trace(plan, cfg, mem);
+    const systolic::LatencyEstimate est = plan.total_latency();
+    FUSE_CHECK(trace.total_cycles == est.cycles)
+        << "fold trace of '" << layer.name
+        << "' diverges from its analytic latency";
+    const std::uint64_t layer_pe_total =
+        est.cycles * static_cast<std::uint64_t>(cfg.pe_count());
+    sink.complete_event(
+        layer.name, "layer", cursor, trace.total_cycles,
+        systolic::kLayerTrack,
+        {util::trace_str("kind", nn::op_kind_name(layer.kind)),
+         util::trace_num("macs", est.mac_ops),
+         util::trace_num("folds", est.folds),
+         util::trace_num("pe_cycles_busy", est.mac_ops),
+         util::trace_num("pe_cycles_total", layer_pe_total),
+         util::trace_num("utilization", est.utilization())});
+    if (fold_events) {
+      append_fold_trace_events(sink, trace, layer.name, cursor);
+    }
+    cursor += trace.total_cycles;
+    pe_cycles_busy += est.mac_ops;
+    pe_cycles_total += layer_pe_total;
+    peak_fold_bytes = std::max(peak_fold_bytes, trace.peak_fold_bytes());
+  }
+
+  // The timeline IS the analytic model: same plans, same fold walk.
+  FUSE_CHECK(cursor == analytic.total_cycles)
+      << "trace timeline " << cursor << " != analytic network latency "
+      << analytic.total_cycles;
+
+  const std::string trace_path = flags.get_string("trace-json");
+  sink.write_json_file(trace_path);
+
+  std::printf(
+      "%s %s on %s array\n"
+      "  layers      : %zu on-array, %zu glue (zero-cycle)\n"
+      "  total       : %s cycles (= analytic network_latency, verified)\n"
+      "  PE occupancy: %s%% (%s busy / %s total PE-cycles)\n"
+      "  peak fold   : %s SRAM (%s double-buffered)\n"
+      "wrote %s: %zu trace events — open in ui.perfetto.dev\n",
+      build.model.name.c_str(),
+      core::network_variant_name(variant).c_str(), cfg.to_string().c_str(),
+      on_array_layers, build.model.layers.size() - on_array_layers,
+      util::with_commas(cursor).c_str(),
+      util::fixed(100.0 * static_cast<double>(pe_cycles_busy) /
+                      static_cast<double>(pe_cycles_total),
+                  2)
+          .c_str(),
+      util::format_count(pe_cycles_busy).c_str(),
+      util::format_count(pe_cycles_total).c_str(),
+      util::format_bytes(peak_fold_bytes).c_str(),
+      util::format_bytes(2 * peak_fold_bytes).c_str(), trace_path.c_str(),
+      sink.event_count());
+
+  const std::string stats_path = flags.get_string("stats-json");
+  if (!stats_path.empty()) {
+    util::metrics().write_json_file(stats_path);
+    std::printf("wrote %s (metrics registry%s)\n", stats_path.c_str(),
+                util::telemetry_enabled() ? "" : " — FUSE_TELEMETRY off");
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include "sched/latency_cache.hpp"
 #include "systolic/mapping.hpp"
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace fuse::sched {
 
@@ -23,11 +24,40 @@ LatencyEstimate cached_layer_latency(const LayerDesc& layer,
 
 }  // namespace
 
+namespace {
+
+/// PE-occupancy accounting for one evaluated layer, derived from its
+/// MappingPlan fold: busy PE-cycles are exactly the useful MACs (one MAC
+/// per PE per cycle), total PE-cycles are cycles x array PEs. These are
+/// the registry-side numbers behind --stats-json; the bench footer keeps
+/// its own per-engine stats.
+void record_layer_metrics(const LatencyEstimate& est) {
+  static util::Counter& layers = util::metrics().counter("sched.layers");
+  static util::Counter& macs = util::metrics().counter("sched.macs");
+  static util::Counter& folds = util::metrics().counter("sched.folds");
+  static util::Counter& pe_busy =
+      util::metrics().counter("sched.pe_cycles_busy");
+  static util::Counter& pe_total =
+      util::metrics().counter("sched.pe_cycles_total");
+  static util::Histogram& cycles =
+      util::metrics().histogram("sched.layer_cycles");
+  layers.add();
+  macs.add(est.mac_ops);
+  folds.add(est.folds);
+  pe_busy.add(est.mac_ops);
+  pe_total.add(est.cycles * static_cast<std::uint64_t>(est.pe_count));
+  cycles.observe(est.cycles);
+}
+
+}  // namespace
+
 LatencyEstimate layer_latency(const LayerDesc& layer,
                               const ArrayConfig& cfg) {
   // All per-OpKind mapping decisions live in systolic::lower(); this is
   // just a fold over the resulting primitive ops.
-  return systolic::lower(layer, cfg).total_latency();
+  const LatencyEstimate est = systolic::lower(layer, cfg).total_latency();
+  record_layer_metrics(est);
+  return est;
 }
 
 LatencyEstimate layer_latency_batched(const LayerDesc& layer,

@@ -3,8 +3,29 @@
 #include <mutex>
 
 #include "sched/latency.hpp"
+#include "util/telemetry.hpp"
 
 namespace fuse::sched {
+
+namespace {
+
+// Registry mirrors of the per-cache atomic stats: the per-instance
+// counters feed the bench footer, these feed --stats-json across every
+// cache in the process.
+util::Counter& cache_hit_metric() {
+  static util::Counter& counter = util::metrics().counter("cache.hits");
+  return counter;
+}
+util::Counter& cache_miss_metric() {
+  static util::Counter& counter = util::metrics().counter("cache.misses");
+  return counter;
+}
+util::Counter& cache_eviction_metric() {
+  static util::Counter& counter = util::metrics().counter("cache.evictions");
+  return counter;
+}
+
+}  // namespace
 
 LatencyKey make_latency_key(const nn::LayerDesc& layer,
                             const systolic::ArrayConfig& cfg) {
@@ -57,6 +78,7 @@ systolic::LatencyEstimate LatencyCache::get_or_compute(
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1);
+      cache_hit_metric().add();
       return it->second;
     }
   }
@@ -68,6 +90,7 @@ systolic::LatencyEstimate LatencyCache::get_or_compute(
     shard.map.try_emplace(key, estimate);
   }
   misses_.fetch_add(1);
+  cache_miss_metric().add();
   return estimate;
 }
 
@@ -83,6 +106,7 @@ std::size_t LatencyCache::entries() const {
 void LatencyCache::clear() {
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    cache_eviction_metric().add(shard.map.size());
     shard.map.clear();
   }
   hits_.store(0);

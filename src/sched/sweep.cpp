@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace fuse::sched {
 
@@ -33,6 +34,11 @@ LatencyEstimate SweepEngine::layer_latency(const LayerDesc& layer,
 NetworkLatency SweepEngine::network_latency(const NetworkModel& model,
                                             const ArrayConfig& cfg) {
   const std::int64_t n = static_cast<std::int64_t>(model.layers.size());
+  util::ScopedSpan span("sweep.network_latency");
+  if (span.active()) {
+    span.annotate("network", model.name);
+    span.annotate("layers", static_cast<std::uint64_t>(n));
+  }
   NetworkLatency result;
   result.per_layer.resize(model.layers.size());
   // Each iteration writes only its own slot; the total is reduced serially
@@ -66,6 +72,7 @@ double SweepEngine::speedup_vs_baseline(NetworkId id, NetworkVariant variant,
 }
 
 std::vector<Table1Row> SweepEngine::table1_rows(const ArrayConfig& cfg) {
+  util::ScopedSpan sweep_span("sweep.table1_rows");
   const std::vector<NetworkId> networks = nets::paper_networks();
   const std::vector<NetworkVariant> variants = core::all_network_variants();
   const std::int64_t num_networks = static_cast<std::int64_t>(networks.size());
@@ -75,8 +82,13 @@ std::vector<Table1Row> SweepEngine::table1_rows(const ArrayConfig& cfg) {
   std::vector<std::uint64_t> baseline_cycles(
       static_cast<std::size_t>(num_networks), 0);
   pool_.parallel_for(num_networks, [&](std::int64_t i) {
-    const VariantBuild baseline = build_variant(
-        networks[static_cast<std::size_t>(i)], NetworkVariant::kBaseline, cfg);
+    const NetworkId id = networks[static_cast<std::size_t>(i)];
+    util::ScopedSpan span("sweep.table1.baseline");
+    if (span.active()) {
+      span.annotate("network", nets::network_name(id));
+    }
+    const VariantBuild baseline =
+        build_variant(id, NetworkVariant::kBaseline, cfg);
     baseline_cycles[static_cast<std::size_t>(i)] =
         network_cycles(baseline.model, cfg);
   });
@@ -91,6 +103,11 @@ std::vector<Table1Row> SweepEngine::table1_rows(const ArrayConfig& cfg) {
     const NetworkVariant variant =
         variants[static_cast<std::size_t>(flat % num_variants)];
 
+    util::ScopedSpan span("sweep.table1.cell");
+    if (span.active()) {
+      span.annotate("network", nets::network_name(id));
+      span.annotate("variant", core::network_variant_name(variant));
+    }
     const VariantBuild build = build_variant(id, variant, cfg);
     Table1Row row;
     row.network = id;
@@ -121,6 +138,12 @@ std::vector<ScalingPoint> SweepEngine::scaling_sweep(
   pool_.parallel_for(
       static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
         const std::size_t s = static_cast<std::size_t>(i);
+        util::ScopedSpan span("sweep.scaling_point");
+        if (span.active()) {
+          span.annotate("network", nets::network_name(id));
+          span.annotate("array_size",
+                        static_cast<std::uint64_t>(sizes[s]));
+        }
         const ArrayConfig cfg = systolic::square_array(sizes[s]);
         points[s] = ScalingPoint{sizes[s],
                                  speedup_vs_baseline(id, variant, cfg)};
@@ -161,8 +184,9 @@ std::string sweep_stats_line(const SweepEngine& engine, double wall_ms) {
   out << "sweep: " << stats.threads << " thread"
       << (stats.threads == 1 ? "" : "s") << ", cache ";
   if (engine.options().use_cache) {
-    out << stats.cache_hits << " hits / " << stats.cache_misses
-        << " misses (" << stats.cache_entries << " shapes)";
+    out << util::format_count(stats.cache_hits) << " hits / "
+        << util::format_count(stats.cache_misses) << " misses ("
+        << util::format_count(stats.cache_entries) << " shapes)";
   } else {
     out << "off";
   }

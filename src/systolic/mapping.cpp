@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace fuse::systolic {
 
@@ -132,6 +133,40 @@ void check_grouped(const LayerDesc& layer) {
 
 /// Shared by lower() and lower_batched(): `m_scale` multiplies the
 /// output-position dimension (1 for single-image inference).
+/// Per-kind primitive-op counters ("mapping.ops.<kind>" — the lowered
+/// instruction mix) plus plan and array-pass totals.
+void record_plan_metrics(const MappingPlan& plan) {
+  static util::Counter& plans = util::metrics().counter("mapping.plans");
+  static util::Counter& matmul =
+      util::metrics().counter("mapping.ops.matmul");
+  static util::Counter& im2col =
+      util::metrics().counter("mapping.ops.im2col");
+  static util::Counter& channelwise =
+      util::metrics().counter("mapping.ops.channelwise");
+  static util::Counter& fuse1d =
+      util::metrics().counter("mapping.ops.fuse1d");
+  static util::Counter& passes =
+      util::metrics().counter("mapping.array_passes");
+  plans.add();
+  for (const PrimitiveOp& op : plan.ops) {
+    switch (op.kind) {
+      case PrimitiveKind::kMatmulTile:
+        matmul.add();
+        break;
+      case PrimitiveKind::kIm2colTile:
+        im2col.add();
+        break;
+      case PrimitiveKind::kChannelwiseTile:
+        channelwise.add();
+        break;
+      case PrimitiveKind::kFuse1DLine:
+        fuse1d.add();
+        break;
+    }
+    passes.add(static_cast<std::uint64_t>(op.repeats));
+  }
+}
+
 MappingPlan lower_impl(const LayerDesc& layer, const ArrayConfig& cfg,
                        std::int64_t m_scale, bool allow_channelwise) {
   cfg.validate();
@@ -218,6 +253,7 @@ MappingPlan lower_impl(const LayerDesc& layer, const ArrayConfig& cfg,
     case OpKind::kElementwiseAdd:
       break;  // zero array cycles: the plan stays empty
   }
+  record_plan_metrics(plan);
   return plan;
 }
 

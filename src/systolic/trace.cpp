@@ -142,6 +142,46 @@ FoldTrace plan_trace(const MappingPlan& plan, const ArrayConfig& cfg,
   return trace;
 }
 
+std::uint64_t append_fold_trace_events(util::TraceSink& sink,
+                                       const FoldTrace& trace,
+                                       const std::string& name,
+                                       std::uint64_t cycle_offset,
+                                       bool sram_counters) {
+  for (const FoldRecord& fold : trace.folds) {
+    const std::uint64_t ts = cycle_offset + fold.start_cycle;
+    sink.complete_event(
+        name, "fold", ts, fold.end_cycle - fold.start_cycle, kFoldTrack,
+        {util::trace_num("rows", static_cast<std::uint64_t>(fold.used_rows)),
+         util::trace_num("cols", static_cast<std::uint64_t>(fold.used_cols)),
+         util::trace_num("depth", static_cast<std::uint64_t>(fold.depth))});
+    if (sram_counters) {
+      sink.counter_event("sram_bytes", ts, kSramTrack,
+                         {{"input", fold.input_bytes},
+                          {"weight", fold.weight_bytes},
+                          {"output", fold.output_bytes}});
+    }
+  }
+  // Drop the counter series back to zero once the trace's folds are done,
+  // so gaps between layers read as empty SRAM rather than a stale level.
+  if (sram_counters && !trace.folds.empty()) {
+    sink.counter_event("sram_bytes",
+                       cycle_offset + trace.folds.back().end_cycle,
+                       kSramTrack,
+                       {{"input", 0}, {"weight", 0}, {"output", 0}});
+  }
+  return cycle_offset + trace.total_cycles;
+}
+
+void write_fold_trace_json(const FoldTrace& trace, const std::string& path,
+                           const std::string& name) {
+  util::TraceSink sink;
+  sink.process_name("fuseconv fold trace (ts unit = array cycles)");
+  sink.thread_name(kFoldTrack, "folds");
+  sink.thread_name(kSramTrack, "sram footprint");
+  append_fold_trace_events(sink, trace, name, /*cycle_offset=*/0);
+  sink.write_json_file(path);
+}
+
 void write_fold_trace_csv(const FoldTrace& trace, const std::string& path) {
   util::CsvWriter csv(path);
   csv.write_header({"fold", "start_cycle", "end_cycle", "rows", "cols",

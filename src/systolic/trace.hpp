@@ -12,6 +12,7 @@
 #include "systolic/config.hpp"
 #include "systolic/mapping.hpp"
 #include "systolic/memory.hpp"
+#include "util/trace_sink.hpp"
 
 namespace fuse::systolic {
 
@@ -60,5 +61,34 @@ FoldTrace plan_trace(const MappingPlan& plan, const ArrayConfig& cfg,
 
 /// Writes one CSV row per fold.
 void write_fold_trace_csv(const FoldTrace& trace, const std::string& path);
+
+// --- Perfetto / chrome://tracing export --------------------------------------
+// The fold timeline rendered as Chrome trace_event JSON with CYCLES as the
+// timestamp unit (one viewer "us" == one array cycle): an "X" span per
+// fold and, per operand, a "C" counter series tracking the SRAM bytes the
+// running fold occupies. Whole networks concatenate layer traces on one
+// cycle axis via `cycle_offset` (examples/profile_network.cpp).
+
+/// Track ids used by the exporters: spans land on kFoldTrack, SRAM counter
+/// series on kSramTrack (counters get their own track so stacked area
+/// charts do not overlay the spans).
+inline constexpr int kLayerTrack = 0;
+inline constexpr int kFoldTrack = 1;
+inline constexpr int kSramTrack = 2;
+
+/// Appends `trace`'s folds to `sink`, shifted by `cycle_offset`: one
+/// complete span named `name` per fold (args: rows/cols/depth), plus SRAM
+/// counter samples at every fold boundary when `sram_counters`. Returns
+/// the cycle cursor after the trace (offset + total_cycles).
+std::uint64_t append_fold_trace_events(util::TraceSink& sink,
+                                       const FoldTrace& trace,
+                                       const std::string& name,
+                                       std::uint64_t cycle_offset,
+                                       bool sram_counters = true);
+
+/// One-call export of a single operator's FoldTrace (the JSON twin of
+/// write_fold_trace_csv): trace + metadata, ready for ui.perfetto.dev.
+void write_fold_trace_json(const FoldTrace& trace, const std::string& path,
+                           const std::string& name = "fold");
 
 }  // namespace fuse::systolic

@@ -41,6 +41,34 @@ std::string fixed(double value, int precision) {
   return format("%.*f", precision, value);
 }
 
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  if (bytes < 1024) {
+    return std::to_string(bytes) + " B";
+  }
+  double scaled = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (scaled >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    scaled /= 1024.0;
+    ++unit;
+  }
+  return format("%.1f %s", scaled, kUnits[unit]);
+}
+
+std::string format_count(std::uint64_t value) {
+  static const char* const kSuffixes[] = {"k", "M", "B", "T"};
+  if (value < 10000) {
+    return std::to_string(value);
+  }
+  double scaled = static_cast<double>(value) / 1000.0;
+  std::size_t suffix = 0;
+  while (scaled >= 1000.0 && suffix + 1 < std::size(kSuffixes)) {
+    scaled /= 1000.0;
+    ++suffix;
+  }
+  return format("%.1f%s", scaled, kSuffixes[suffix]);
+}
+
 std::vector<std::string> split(const std::string& text, char delimiter) {
   std::vector<std::string> fields;
   std::string field;

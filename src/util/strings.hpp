@@ -17,6 +17,14 @@ std::string with_commas(std::uint64_t value);
 /// "3.14".
 std::string fixed(double value, int precision);
 
+/// Human-readable byte size with binary units: "512 B", "1.5 KiB",
+/// "3.2 MiB". Exact below 1 KiB, one decimal above.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Human-readable count: exact below 10000 ("9999"), one-decimal
+/// suffixed above ("12.3k", "4.6M", "7.8B").
+std::string format_count(std::uint64_t value);
+
 /// Splits on a delimiter; keeps empty fields.
 std::vector<std::string> split(const std::string& text, char delimiter);
 

@@ -1,0 +1,206 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace fuse::util {
+
+#if FUSE_TELEMETRY
+
+int telemetry_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1);
+  return id;
+}
+
+void Gauge::add(std::int64_t delta) {
+  const std::int64_t now =
+      value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  raise_max(now);
+}
+
+void Gauge::set(std::int64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+  raise_max(value);
+}
+
+void Gauge::raise_max(std::int64_t candidate) {
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !max_.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_index(std::uint64_t value) {
+  // The top bucket is open-ended so 64-bit-wide values stay in range.
+  return value == 0 ? 0
+                    : std::min(kBuckets - 1,
+                               static_cast<int>(std::bit_width(value)));
+}
+
+std::uint64_t Histogram::bucket_lower_bound(int bucket) {
+  FUSE_CHECK(bucket >= 0 && bucket < kBuckets) << "bucket " << bucket;
+  return bucket == 0 ? 0 : 1ULL << (bucket - 1);
+}
+
+void Histogram::observe(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(int bucket) const {
+  FUSE_CHECK(bucket >= 0 && bucket < kBuckets) << "bucket " << bucket;
+  return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"value\": " << gauge->value()
+        << ", \"max\": " << gauge->max() << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << histogram->count()
+        << ", \"sum\": " << histogram->sum() << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+      const std::uint64_t n = histogram->bucket_count(bucket);
+      if (n == 0) {
+        continue;
+      }
+      out << (first_bucket ? "" : ", ") << '['
+          << Histogram::bucket_lower_bound(bucket) << ", " << n << ']';
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void Counter::reset() { value_.store(0, std::memory_order_relaxed); }
+
+void Gauge::reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->reset();
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : sink_(global_trace_sink()), name_(name), category_(category) {
+  if (sink_ != nullptr) {
+    start_us_ = sink_->now_us();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ != nullptr) {
+    sink_->complete_event(name_, category_, start_us_,
+                          sink_->now_us() - start_us_,
+                          telemetry_thread_id(), std::move(args_));
+  }
+}
+
+void ScopedSpan::annotate(const char* key, std::string value) {
+  if (sink_ != nullptr) {
+    args_.push_back(trace_str(key, std::move(value)));
+  }
+}
+
+void ScopedSpan::annotate(const char* key, std::uint64_t value) {
+  if (sink_ != nullptr) {
+    args_.push_back(trace_num(key, value));
+  }
+}
+
+#else  // !FUSE_TELEMETRY
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": "
+         "{}\n}\n";
+}
+
+#endif  // FUSE_TELEMETRY
+
+MetricsRegistry& metrics() {
+  // Intentionally leaked: the process-wide SweepEngine's thread pool (also
+  // a function-local static) bumps pool metrics while draining during its
+  // destructor, so the registry must outlive every other static.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  FUSE_CHECK(out.good()) << "cannot open stats output file " << path;
+  write_json(out);
+}
+
+}  // namespace fuse::util

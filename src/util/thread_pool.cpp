@@ -4,8 +4,29 @@
 #include <exception>
 
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace fuse::util {
+
+namespace {
+
+// Pool metrics (docs/observability.md): total tasks through submit(),
+// tasks a worker claimed from another worker's queue, and the level /
+// high-water mark of queued-but-unclaimed tasks.
+Counter& tasks_submitted() {
+  static Counter& counter = metrics().counter("pool.tasks_submitted");
+  return counter;
+}
+Counter& tasks_stolen() {
+  static Counter& counter = metrics().counter("pool.tasks_stolen");
+  return counter;
+}
+Gauge& queue_depth() {
+  static Gauge& gauge = metrics().gauge("pool.queue_depth");
+  return gauge;
+}
+
+}  // namespace
 
 int ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -38,10 +59,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Task task) {
   FUSE_CHECK(task != nullptr) << "cannot submit an empty task";
+  tasks_submitted().add();
   if (workers_.empty()) {
     task();
     return;
   }
+  queue_depth().add(1);
   const std::size_t q = next_queue_.fetch_add(1) % queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mutex);
@@ -63,6 +86,7 @@ bool ThreadPool::try_pop(std::size_t worker, Task& out) {
   out = std::move(queue.tasks.back());
   queue.tasks.pop_back();
   pending_.fetch_sub(1);
+  queue_depth().add(-1);
   return true;
 }
 
@@ -74,6 +98,8 @@ bool ThreadPool::try_steal(std::size_t thief, Task& out) {
       out = std::move(queue.tasks.front());
       queue.tasks.pop_front();
       pending_.fetch_sub(1);
+      queue_depth().add(-1);
+      tasks_stolen().add();
       return true;
     }
   }
@@ -105,6 +131,13 @@ void ThreadPool::parallel_for(std::int64_t n,
   FUSE_CHECK(grain >= 1) << "parallel_for needs grain >= 1, got " << grain;
   if (n == 0) {
     return;
+  }
+  static Counter& loops = metrics().counter("pool.parallel_fors");
+  loops.add();
+  ScopedSpan span("pool.parallel_for", "pool");
+  if (span.active()) {
+    span.annotate("n", static_cast<std::uint64_t>(n));
+    span.annotate("grain", static_cast<std::uint64_t>(grain));
   }
   if (workers_.empty() || n <= grain) {
     // Same semantics as the pooled path: the first exception is captured,

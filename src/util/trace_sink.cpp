@@ -1,0 +1,183 @@
+#include "util/trace_sink.hpp"
+
+#include <atomic>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace fuse::util {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+}  // namespace
+
+TraceSink* global_trace_sink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void set_global_trace_sink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceArg trace_num(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), /*is_number=*/true};
+}
+
+TraceArg trace_num(std::string key, double value) {
+  return TraceArg{std::move(key), format("%.6f", value), /*is_number=*/true};
+}
+
+TraceArg trace_str(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), /*is_number=*/false};
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceSink::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceSink::append(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::complete_event(std::string name, std::string category,
+                               std::uint64_t ts, std::uint64_t dur, int tid,
+                               std::vector<TraceArg> args) {
+  Event event;
+  event.phase = 'X';
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.ts = ts;
+  event.dur = dur;
+  event.tid = tid;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+void TraceSink::counter_event(
+    std::string name, std::uint64_t ts, int tid,
+    std::vector<std::pair<std::string, std::uint64_t>> series) {
+  Event event;
+  event.phase = 'C';
+  event.name = std::move(name);
+  event.ts = ts;
+  event.tid = tid;
+  event.args.reserve(series.size());
+  for (auto& [key, value] : series) {
+    event.args.push_back(trace_num(std::move(key), value));
+  }
+  append(std::move(event));
+}
+
+void TraceSink::process_name(std::string name) {
+  Event event;
+  event.phase = 'M';
+  event.name = "process_name";
+  event.args.push_back(trace_str("name", std::move(name)));
+  append(std::move(event));
+}
+
+void TraceSink::thread_name(int tid, std::string name) {
+  Event event;
+  event.phase = 'M';
+  event.name = "thread_name";
+  event.tid = tid;
+  event.args.push_back(trace_str("name", std::move(name)));
+  append(std::move(event));
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceSink::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "{\"ph\":\"" << event.phase << "\",\"name\":\""
+        << json_escape(event.name) << '"';
+    if (!event.category.empty()) {
+      out << ",\"cat\":\"" << json_escape(event.category) << '"';
+    }
+    // Metadata events carry no timestamp; everything else gets ts (and X
+    // events their duration).
+    if (event.phase != 'M') {
+      out << ",\"ts\":" << event.ts;
+    }
+    if (event.phase == 'X') {
+      out << ",\"dur\":" << event.dur;
+    }
+    out << ",\"pid\":1,\"tid\":" << event.tid;
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        const TraceArg& arg = event.args[i];
+        if (i != 0) {
+          out << ',';
+        }
+        out << '"' << json_escape(arg.key) << "\":";
+        if (arg.is_number) {
+          out << arg.value;
+        } else {
+          out << '"' << json_escape(arg.value) << '"';
+        }
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceSink::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  FUSE_CHECK(out.good()) << "cannot open trace output file " << path;
+  write_json(out);
+}
+
+}  // namespace fuse::util

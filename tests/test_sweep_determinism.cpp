@@ -13,6 +13,8 @@
 
 #include "sched/latency.hpp"
 #include "sched/sweep.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_sink.hpp"
 
 namespace fuse::sched {
 namespace {
@@ -173,6 +175,27 @@ TEST(SweepDeterminism, CacheOffEngineReportsNoCacheTraffic) {
   EXPECT_EQ(stats.cache_hits, 0u);
   EXPECT_EQ(stats.cache_misses, 0u);
   EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+TEST(SweepDeterminism, ByteIdenticalWithTelemetryAttached) {
+  // Tracing and stats export must never perturb results: the same
+  // workload with a global trace sink attached (what --trace-json +
+  // --stats-json enable in the benches) serializes identically.
+  const std::string reference =
+      run_workload({.threads = 8, .use_cache = true});
+
+  util::TraceSink sink;
+  util::set_global_trace_sink(&sink);
+  const std::string traced = run_workload({.threads = 8, .use_cache = true});
+  util::set_global_trace_sink(nullptr);
+  std::ostringstream stats_json;
+  util::metrics().write_json(stats_json);
+
+  EXPECT_EQ(traced, reference);
+  if (util::telemetry_enabled()) {
+    EXPECT_GT(sink.event_count(), 0u);
+    EXPECT_FALSE(stats_json.str().empty());
+  }
 }
 
 TEST(SweepDeterminism, StatsLineMentionsThreadsAndCacheState) {

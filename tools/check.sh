@@ -2,12 +2,14 @@
 # Full verification gate:
 #   1. default build + complete test suite,
 #   2. ThreadSanitizer build running the concurrency suites
-#      (test_thread_pool, test_sweep_determinism, test_properties),
+#      (test_thread_pool, test_sweep_determinism, test_properties,
+#      test_telemetry),
 #   3. AddressSanitizer build running the mapping/executor suites
 #      (test_mapping, test_execute, test_systolic_sim),
 #   4. bench determinism: every bench binary's output must be
 #      byte-identical between --threads=1 --no-cache and --threads=8
-#      (only the "sweep: ..." wall-time footer may differ).
+#      (only footer lines — see filter_bench_output — may differ),
+#   5. telemetry export: profile_network's trace/stats JSON must parse.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -18,14 +20,23 @@ ASAN_DIR="${3:-build-asan}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
-echo "=== [1/4] default build + full test suite ==="
+# Strips the lines a bench is allowed to vary between runs: the
+# "sweep: ..." wall-time/cache footer and any "# ..." comment footers.
+# Every determinism diff goes through this one filter so new footer kinds
+# are excluded in a single place.
+filter_bench_output() {
+  grep -vE '^(sweep:|#)' || true
+}
+
+echo "=== [1/5] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/4] ThreadSanitizer build + concurrency suites ==="
-CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties)
+echo "=== [2/5] ThreadSanitizer build + concurrency suites ==="
+CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
+                   test_telemetry)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target "${CONCURRENCY_TESTS[@]}"
@@ -35,7 +46,7 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/4] AddressSanitizer build + mapping/executor suites ==="
+echo "=== [3/5] AddressSanitizer build + mapping/executor suites ==="
 ASAN_TESTS=(test_mapping test_execute test_systolic_sim)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -46,19 +57,44 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/4] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [4/5] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+TELEMETRY_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
   [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
-  if diff <("$bin" --threads=1 --no-cache | grep -v '^sweep:') \
-          <("$bin" --threads=8 | grep -v '^sweep:') >/dev/null; then
+  # The second leg also exercises the telemetry flags: stdout must stay
+  # byte-identical with tracing on.
+  if diff <("$bin" --threads=1 --no-cache | filter_bench_output) \
+          <("$bin" --threads=8 \
+               --trace-json="$TELEMETRY_TMP/$bench.trace.json" \
+               --stats-json="$TELEMETRY_TMP/$bench.stats.json" \
+             | filter_bench_output); then
     echo "$bench: byte-identical"
   else
     echo "$bench: OUTPUT DIVERGED between thread counts" >&2
     exit 1
   fi
 done
+
+echo
+echo "=== [5/5] telemetry export: profile_network JSON validity ==="
+"$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
+  --trace-json "$TELEMETRY_TMP/profile.json" \
+  --stats-json "$TELEMETRY_TMP/profile.stats.json"
+python3 - "$TELEMETRY_TMP" <<'EOF'
+import glob, json, os, sys
+tmp = sys.argv[1]
+paths = sorted(glob.glob(os.path.join(tmp, "*.json")))
+assert paths, "no telemetry JSON written"
+for path in paths:
+    with open(path) as f:
+        doc = json.load(f)
+    if os.path.basename(path).endswith(("trace.json", "profile.json")):
+        assert doc["traceEvents"], f"{path}: empty traceEvents"
+print(f"{len(paths)} telemetry JSON files parsed")
+EOF
 
 echo
 echo "all checks passed"
