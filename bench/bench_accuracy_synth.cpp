@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "train/models.hpp"
 #include "util/check.hpp"
 #include "train/trainer.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   flags.add_string("task", "textures", "synthetic task: textures|blobs");
   flags.add_string("arch", "separable", "tiny net architecture: separable|inverted");
   flags.add_bool("csv", false, "also write bench_accuracy.csv");
+  bench::add_kernel_flags(flags);
   flags.parse(argc, argv);
+  bench::apply_kernel_flags(flags);
 
   DatasetConfig dc;  // 4-way, 3x16x16
   if (flags.get_string("task") == "blobs") {

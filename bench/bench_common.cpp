@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "nn/kernels.hpp"
 #include "util/check.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace_sink.hpp"
@@ -15,15 +16,39 @@ void add_telemetry_flags(util::CliFlags& flags) {
                    "write the metrics registry here as JSON");
 }
 
+void add_kernel_flags(util::CliFlags& flags) {
+  flags.add_string("kernel-backend",
+                   nn::kernel_backend_name(nn::kernel_backend()),
+                   "functional kernel backend: fast or reference");
+  flags.add_int("kernel-threads", nn::kernel_threads(),
+                "total threads for the fast kernels' tile parallel_for");
+}
+
+void apply_kernel_flags(const util::CliFlags& flags) {
+  const std::string name = flags.get_string("kernel-backend");
+  nn::KernelBackend backend;
+  FUSE_CHECK(nn::parse_kernel_backend(name, &backend))
+      << "--kernel-backend must be 'fast' or 'reference', got '" << name
+      << "'";
+  nn::set_kernel_backend(backend);
+  const std::int64_t threads = flags.get_int("kernel-threads");
+  FUSE_CHECK(threads >= 1) << "--kernel-threads must be >= 1";
+  if (threads != nn::kernel_threads()) {
+    nn::set_kernel_threads(static_cast<int>(threads));
+  }
+}
+
 SweepHarness::SweepHarness(util::CliFlags& flags) {
   sched::add_sweep_flags(flags);
   add_telemetry_flags(flags);
+  add_kernel_flags(flags);
 }
 
 SweepHarness::~SweepHarness() { finalize(); }
 
 sched::SweepEngine& SweepHarness::engine(const util::CliFlags& flags) {
   FUSE_CHECK(!engine_) << "SweepHarness::engine called twice";
+  apply_kernel_flags(flags);
   trace_path_ = flags.get_string("trace-json");
   stats_path_ = flags.get_string("stats-json");
   if (!trace_path_.empty() && util::telemetry_enabled()) {

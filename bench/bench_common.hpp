@@ -41,6 +41,15 @@ namespace fuse::bench {
 /// off). SweepHarness calls this; standalone tools can reuse it.
 void add_telemetry_flags(util::CliFlags& flags);
 
+/// Registers --kernel-backend (fast|reference, default: current, i.e.
+/// FUSE_KERNEL_BACKEND or fast) and --kernel-threads (total threads for
+/// the fast kernels' parallel_for, default: current). SweepHarness calls
+/// this; standalone tools can reuse the pair.
+void add_kernel_flags(util::CliFlags& flags);
+
+/// Applies the parsed kernel flags to the process-wide backend state.
+void apply_kernel_flags(const util::CliFlags& flags);
+
 class SweepHarness {
  public:
   /// Registers --threads/--no-cache plus the telemetry flags on `flags`.

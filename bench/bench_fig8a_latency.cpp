@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sched/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_double("freq-mhz", 700.0, "clock for cycle->time conversion");
   flags.add_bool("csv", false, "also write bench_fig8a.csv");
+  bench::add_kernel_flags(flags);
   flags.parse(argc, argv);
+  bench::apply_kernel_flags(flags);
 
   auto cfg = systolic::square_array(flags.get_int("size"));
   cfg.freq_mhz = flags.get_double("freq-mhz");

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sched/report.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -37,7 +38,9 @@ int main(int argc, char** argv) {
   flags.add_string("net", "v2", "network: v1|v2|v3s|v3l|mnas");
   flags.add_string("variant", "full", "replacement variant: full|half");
   flags.add_bool("csv", false, "also write bench_fig8b.csv");
+  bench::add_kernel_flags(flags);
   flags.parse(argc, argv);
+  bench::apply_kernel_flags(flags);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
   const nets::NetworkId id = parse_net(flags.get_string("net"));

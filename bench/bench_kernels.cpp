@@ -1,10 +1,28 @@
-// Micro-kernel wall-clock benchmarks (google-benchmark): the functional
-// reference operators and the cycle-level simulator primitives. These
-// support Fig. 8(c)'s operator-level view with host-side numbers and keep
-// the simulator's own cost visible.
+// Micro-kernel wall-clock benchmarks (google-benchmark): reference-vs-
+// fast pairs for every operator the kernel backend accelerates (GEMM,
+// dense conv, pointwise, depthwise, FuSe row/col, linear) at
+// MobileNet-V2 geometries, the FuSeConv stage forward under both
+// backends, and the cycle-level simulator primitives. These support Fig.
+// 8(c)'s operator-level view with host-side numbers and keep the
+// simulator's own cost visible.
+//
+// Besides the usual google-benchmark flags, `--json=<path>` writes a
+// machine-readable row per benchmark: {op, backend, ns_per_op, gflops} —
+// the perf-trajectory artifact results/BENCH_kernels.json is regenerated
+// from (tools/regenerate_results.sh).
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/fuseconv.hpp"
+#include "nn/kernels.hpp"
 #include "nn/ops.hpp"
 #include "systolic/sim.hpp"
 #include "tensor/tensor.hpp"
@@ -12,6 +30,8 @@
 
 namespace {
 
+using fuse::nn::Conv2dParams;
+using fuse::nn::KernelBackend;
 using fuse::tensor::Shape;
 using fuse::tensor::Tensor;
 
@@ -22,25 +42,147 @@ Tensor random_tensor(Shape shape, std::uint64_t seed) {
   return t;
 }
 
-// One depthwise-separable unit at MobileNet-scale geometry (shrunk 4x to
-// keep the benchmark quick): 32 channels, 28x28.
-constexpr std::int64_t kC = 32;
-constexpr std::int64_t kHW = 28;
+/// Variant label for the ref-vs-fast pairs. fast_t2/fast_t4 size the
+/// kernel pool to 2/4 total threads (the scaling legs); reference and
+/// fast run single-threaded.
+struct Variant {
+  const char* label;
+  KernelBackend backend;
+  int threads;
+};
 
-void BM_DepthwiseConv3x3(benchmark::State& state) {
-  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 1);
-  const Tensor weight = random_tensor(Shape{kC, 1, 3, 3}, 2);
-  fuse::nn::Conv2dParams p;
-  p.pad_h = 1;
-  p.pad_w = 1;
-  p.groups = kC;
+constexpr Variant kReference{"reference", KernelBackend::kReference, 1};
+constexpr Variant kFast{"fast", KernelBackend::kFast, 1};
+constexpr Variant kFastT2{"fast_t2", KernelBackend::kFast, 2};
+constexpr Variant kFastT4{"fast_t4", KernelBackend::kFast, 4};
+
+/// Pins backend + threads for one benchmark run and restores single-
+/// threaded fast afterwards (the process default).
+struct VariantScope {
+  explicit VariantScope(const Variant& v) {
+    fuse::nn::set_kernel_backend(v.backend);
+    fuse::nn::set_kernel_threads(v.threads);
+  }
+  ~VariantScope() {
+    fuse::nn::set_kernel_backend(KernelBackend::kFast);
+    fuse::nn::set_kernel_threads(1);
+  }
+};
+
+void set_flops(benchmark::State& state, std::int64_t macs) {
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2 * macs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+// --- GEMM at the MobileNet-V2 bottleneck geometry (im2col of the
+// [1, 96, 14, 14] -> 576 expansion): [196, 576] x [576, 96].
+void BM_Gemm(benchmark::State& state, Variant v) {
+  VariantScope scope(v);
+  const Tensor a = random_tensor(Shape{196, 576}, 1);
+  const Tensor b = random_tensor(Shape{576, 96}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.backend == KernelBackend::kReference
+                                 ? fuse::nn::matmul_reference(a, b)
+                                 : fuse::nn::kernels::matmul_fast(a, b));
+  }
+  set_flops(state, 196 * 576 * 96);
+}
+BENCHMARK_CAPTURE(BM_Gemm, reference, kReference);
+BENCHMARK_CAPTURE(BM_Gemm, fast, kFast);
+BENCHMARK_CAPTURE(BM_Gemm, fast_t2, kFastT2);
+BENCHMARK_CAPTURE(BM_Gemm, fast_t4, kFastT4);
+
+/// Shared driver for the conv pairs: runs nn::conv2d through the public
+/// dispatcher under the variant's backend.
+void run_conv(benchmark::State& state, const Variant& v, const Tensor& input,
+              const Tensor& weight, const Conv2dParams& p,
+              std::int64_t macs) {
+  VariantScope scope(v);
   for (auto _ : state) {
     benchmark::DoNotOptimize(fuse::nn::conv2d(input, weight, nullptr, p));
   }
+  set_flops(state, macs);
 }
-BENCHMARK(BM_DepthwiseConv3x3);
 
-void BM_FuseConvHalf(benchmark::State& state) {
+// --- MobileNet-V2 stem: [1, 3, 112, 112] -> 32, 3x3 stride 2 pad 1.
+void BM_Conv3x3(benchmark::State& state, Variant v) {
+  const Tensor input = random_tensor(Shape{1, 3, 112, 112}, 3);
+  const Tensor weight = random_tensor(Shape{32, 3, 3, 3}, 4);
+  const Conv2dParams p{2, 2, 1, 1, 1, 1, 1};
+  run_conv(state, v, input, weight, p,
+           /*macs=*/static_cast<std::int64_t>(32) * 3 * 3 * 3 * 56 * 56);
+}
+BENCHMARK_CAPTURE(BM_Conv3x3, reference, kReference);
+BENCHMARK_CAPTURE(BM_Conv3x3, fast, kFast);
+
+// --- MobileNet-V2 expansion pointwise: [1, 96, 14, 14] -> 576, 1x1.
+void BM_PointwiseConv(benchmark::State& state, Variant v) {
+  const Tensor input = random_tensor(Shape{1, 96, 14, 14}, 5);
+  const Tensor weight = random_tensor(Shape{576, 96, 1, 1}, 6);
+  run_conv(state, v, input, weight, Conv2dParams{},
+           /*macs=*/static_cast<std::int64_t>(576) * 96 * 14 * 14);
+}
+BENCHMARK_CAPTURE(BM_PointwiseConv, reference, kReference);
+BENCHMARK_CAPTURE(BM_PointwiseConv, fast, kFast);
+BENCHMARK_CAPTURE(BM_PointwiseConv, fast_t2, kFastT2);
+
+// --- MobileNet-V2 depthwise: [1, 144, 56, 56], 3x3 pad 1, groups = C.
+void BM_DepthwiseConv3x3(benchmark::State& state, Variant v) {
+  const Tensor input = random_tensor(Shape{1, 144, 56, 56}, 7);
+  const Tensor weight = random_tensor(Shape{144, 1, 3, 3}, 8);
+  const Conv2dParams p{1, 1, 1, 1, 1, 1, 144};
+  run_conv(state, v, input, weight, p,
+           /*macs=*/static_cast<std::int64_t>(144) * 9 * 56 * 56);
+}
+BENCHMARK_CAPTURE(BM_DepthwiseConv3x3, reference, kReference);
+BENCHMARK_CAPTURE(BM_DepthwiseConv3x3, fast, kFast);
+
+// --- FuSe row branch: the same geometry factored to 1x3, groups = C.
+void BM_FuseRow(benchmark::State& state, Variant v) {
+  const Tensor input = random_tensor(Shape{1, 144, 56, 56}, 9);
+  const Tensor weight = random_tensor(Shape{144, 1, 1, 3}, 10);
+  const Conv2dParams p{1, 1, 0, 1, 1, 1, 144};
+  run_conv(state, v, input, weight, p,
+           /*macs=*/static_cast<std::int64_t>(144) * 3 * 56 * 56);
+}
+BENCHMARK_CAPTURE(BM_FuseRow, reference, kReference);
+BENCHMARK_CAPTURE(BM_FuseRow, fast, kFast);
+
+// --- FuSe col branch: 3x1, groups = C.
+void BM_FuseCol(benchmark::State& state, Variant v) {
+  const Tensor input = random_tensor(Shape{1, 144, 56, 56}, 11);
+  const Tensor weight = random_tensor(Shape{144, 1, 3, 1}, 12);
+  const Conv2dParams p{1, 1, 1, 0, 1, 1, 144};
+  run_conv(state, v, input, weight, p,
+           /*macs=*/static_cast<std::int64_t>(144) * 3 * 56 * 56);
+}
+BENCHMARK_CAPTURE(BM_FuseCol, reference, kReference);
+BENCHMARK_CAPTURE(BM_FuseCol, fast, kFast);
+
+// --- Classifier: [8, 1280] x [1000, 1280] linear.
+void BM_Linear(benchmark::State& state, Variant v) {
+  VariantScope scope(v);
+  const Tensor input = random_tensor(Shape{8, 1280}, 13);
+  const Tensor weight = random_tensor(Shape{1000, 1280}, 14);
+  const Tensor bias = random_tensor(Shape{1000}, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse::nn::linear(input, weight, &bias));
+  }
+  set_flops(state, static_cast<std::int64_t>(8) * 1280 * 1000);
+}
+BENCHMARK_CAPTURE(BM_Linear, reference, kReference);
+BENCHMARK_CAPTURE(BM_Linear, fast, kFast);
+BENCHMARK_CAPTURE(BM_Linear, fast_t2, kFastT2);
+
+// --- FuSeConv stage forward (both 1-D branches + concat/pointwise as
+// applicable) through the dispatcher, MobileNet-scale shrunk 4x.
+constexpr std::int64_t kC = 32;
+constexpr std::int64_t kHW = 28;
+
+void run_fuse_stage(benchmark::State& state, const Variant& v,
+                    fuse::core::FuseVariant variant) {
+  VariantScope scope(v);
   fuse::core::FuseConvSpec spec;
   spec.channels = kC;
   spec.in_h = kHW;
@@ -48,49 +190,34 @@ void BM_FuseConvHalf(benchmark::State& state) {
   spec.kernel = 3;
   spec.stride = 1;
   spec.pad = 1;
-  spec.variant = fuse::core::FuseVariant::kHalf;
-  fuse::util::Rng rng(3);
+  spec.variant = variant;
+  fuse::util::Rng rng(16);
   const fuse::core::FuseConvStage stage(spec, rng);
-  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 4);
+  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 17);
   for (auto _ : state) {
     benchmark::DoNotOptimize(stage.forward(input));
   }
 }
-BENCHMARK(BM_FuseConvHalf);
 
-void BM_FuseConvFull(benchmark::State& state) {
-  fuse::core::FuseConvSpec spec;
-  spec.channels = kC;
-  spec.in_h = kHW;
-  spec.in_w = kHW;
-  spec.kernel = 3;
-  spec.stride = 1;
-  spec.pad = 1;
-  spec.variant = fuse::core::FuseVariant::kFull;
-  fuse::util::Rng rng(5);
-  const fuse::core::FuseConvStage stage(spec, rng);
-  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(stage.forward(input));
-  }
+void BM_FuseConvHalf(benchmark::State& state, Variant v) {
+  run_fuse_stage(state, v, fuse::core::FuseVariant::kHalf);
 }
-BENCHMARK(BM_FuseConvFull);
+BENCHMARK_CAPTURE(BM_FuseConvHalf, reference, kReference);
+BENCHMARK_CAPTURE(BM_FuseConvHalf, fast, kFast);
 
-void BM_PointwiseConv(benchmark::State& state) {
-  const Tensor input = random_tensor(Shape{1, kC, kHW, kHW}, 7);
-  const Tensor weight = random_tensor(Shape{2 * kC, kC, 1, 1}, 8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fuse::nn::conv2d(input, weight, nullptr, {}));
-  }
+void BM_FuseConvFull(benchmark::State& state, Variant v) {
+  run_fuse_stage(state, v, fuse::core::FuseVariant::kFull);
 }
-BENCHMARK(BM_PointwiseConv);
+BENCHMARK_CAPTURE(BM_FuseConvFull, reference, kReference);
+BENCHMARK_CAPTURE(BM_FuseConvFull, fast, kFast);
 
+// --- Cycle-level simulator primitives (no backend pairing: the sim is
+// the measured artifact itself).
 void BM_SimMatmul(benchmark::State& state) {
   const std::int64_t size = state.range(0);
   fuse::systolic::SystolicArraySim sim(fuse::systolic::square_array(size));
-  const Tensor a = random_tensor(Shape{size, 32}, 9);
-  const Tensor b = random_tensor(Shape{32, size}, 10);
+  const Tensor a = random_tensor(Shape{size, 32}, 18);
+  const Tensor b = random_tensor(Shape{32, size}, 19);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.matmul(a, b));
   }
@@ -100,12 +227,124 @@ BENCHMARK(BM_SimMatmul)->Arg(8)->Arg(16)->Arg(32);
 void BM_SimConv1dBroadcast(benchmark::State& state) {
   const std::int64_t size = state.range(0);
   fuse::systolic::SystolicArraySim sim(fuse::systolic::square_array(size));
-  const Tensor lines = random_tensor(Shape{size, size + 2}, 11);
-  const Tensor kernels = random_tensor(Shape{size, 3}, 12);
+  const Tensor lines = random_tensor(Shape{size, size + 2}, 20);
+  const Tensor kernels = random_tensor(Shape{size, 3}, 21);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.conv1d_broadcast(lines, kernels));
   }
 }
 BENCHMARK(BM_SimConv1dBroadcast)->Arg(8)->Arg(16)->Arg(32);
 
+// --- Reporting -----------------------------------------------------------
+
+struct JsonRow {
+  std::string name;
+  double ns_per_op = 0.0;
+  double gflops = 0.0;
+};
+
+/// Console output as usual, plus a captured row per run for --json.
+/// Color only on a real terminal — an explicitly-passed ConsoleReporter
+/// would otherwise embed escape codes in the piped golden.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  CapturingReporter()
+      : benchmark::ConsoleReporter(isatty(fileno(stdout)) != 0
+                                       ? OO_ColorTabular
+                                       : OO_Tabular) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) {
+        continue;
+      }
+      JsonRow row;
+      row.name = run.benchmark_name();
+      row.ns_per_op = run.GetAdjustedRealTime();  // default unit: ns
+      const auto it = run.counters.find("flops");
+      if (it != run.counters.end()) {
+        row.gflops = it->second.value / 1e9;  // kIsRate -> FLOP/s
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  const std::vector<JsonRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<JsonRow> rows_;
+};
+
+/// "BM_Gemm/fast_t2" -> {"gemm", "fast_t2"}; sim benches ("BM_SimMatmul/8")
+/// report backend "sim".
+std::pair<std::string, std::string> parse_name(const std::string& name) {
+  std::string op = name;
+  std::string backend = "sim";
+  const std::size_t slash = op.find('/');
+  if (slash != std::string::npos) {
+    const std::string suffix = op.substr(slash + 1);
+    if (suffix == "reference" || suffix.rfind("fast", 0) == 0) {
+      backend = suffix;
+    }
+    op = op.substr(0, slash);
+  }
+  if (op.rfind("BM_", 0) == 0) {
+    op = op.substr(3);
+  }
+  for (char& c : op) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return {op, backend};
+}
+
+void write_json(const std::string& path, const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto [op, backend] = parse_name(rows[i].name);
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"op\": \"%s\", \"backend\": \"%s\", "
+                 "\"ns_per_op\": %.1f, \"gflops\": %.3f}%s\n",
+                 rows[i].name.c_str(), op.c_str(), backend.c_str(),
+                 rows[i].ns_per_op, rows[i].gflops,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json=<path> before google-benchmark sees the argv.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  // The variant scopes control threading explicitly; start single-threaded
+  // fast so the unpaired benches are deterministic too.
+  fuse::nn::set_kernel_backend(fuse::nn::KernelBackend::kFast);
+  fuse::nn::set_kernel_threads(1);
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    write_json(json_path, reporter.rows());
+  }
+  return 0;
+}

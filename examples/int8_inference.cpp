@@ -4,9 +4,11 @@
 // the deployment datatypes a systolic array actually runs.
 //
 // Usage: int8_inference [--channels=16] [--hw=16] [--variant=half]
+//        [--kernel-backend=fast] [--kernel-threads=N]
 #include <cstdio>
 
 #include "core/fuseconv.hpp"
+#include "nn/kernels.hpp"
 #include "tensor/half.hpp"
 #include "tensor/quantize.hpp"
 #include "util/check.hpp"
@@ -20,7 +22,20 @@ int main(int argc, char** argv) {
   flags.add_int("channels", 16, "input channels");
   flags.add_int("hw", 16, "square feature-map size");
   flags.add_string("variant", "half", "full|half");
+  flags.add_string("kernel-backend", nn::kernel_backend_name(nn::kernel_backend()),
+                   "functional kernel backend: fast or reference");
+  flags.add_int("kernel-threads", nn::kernel_threads(),
+                "total threads for the fast kernels");
   flags.parse(argc, argv);
+
+  nn::KernelBackend backend;
+  FUSE_CHECK(nn::parse_kernel_backend(flags.get_string("kernel-backend"),
+                                      &backend))
+      << "--kernel-backend must be 'fast' or 'reference'";
+  nn::set_kernel_backend(backend);
+  if (flags.get_int("kernel-threads") != nn::kernel_threads()) {
+    nn::set_kernel_threads(static_cast<int>(flags.get_int("kernel-threads")));
+  }
 
   core::FuseConvSpec spec;
   spec.channels = flags.get_int("channels");

@@ -4,9 +4,11 @@
 // paper's ImageNet study (see DESIGN.md for the substitution rationale).
 //
 // Usage: train_synthetic [--mode=full] [--epochs=8] [--seed=1]
-//        [--train=256] [--eval=128]
+//        [--train=256] [--eval=128] [--kernel-backend=fast]
+//        [--kernel-threads=N]
 #include <cstdio>
 
+#include "nn/kernels.hpp"
 #include "train/models.hpp"
 #include "train/trainer.hpp"
 #include "util/check.hpp"
@@ -22,7 +24,20 @@ int main(int argc, char** argv) {
   flags.add_int("seed", 1, "weight init seed");
   flags.add_int("train", 256, "training examples");
   flags.add_int("eval", 128, "eval examples");
+  flags.add_string("kernel-backend", nn::kernel_backend_name(nn::kernel_backend()),
+                   "functional kernel backend: fast or reference");
+  flags.add_int("kernel-threads", nn::kernel_threads(),
+                "total threads for the fast kernels");
   flags.parse(argc, argv);
+
+  nn::KernelBackend backend;
+  FUSE_CHECK(nn::parse_kernel_backend(flags.get_string("kernel-backend"),
+                                      &backend))
+      << "--kernel-backend must be 'fast' or 'reference'";
+  nn::set_kernel_backend(backend);
+  if (flags.get_int("kernel-threads") != nn::kernel_threads()) {
+    nn::set_kernel_threads(static_cast<int>(flags.get_int("kernel-threads")));
+  }
 
   const std::string mode_name = flags.get_string("mode");
   core::FuseMode mode = core::FuseMode::kBaseline;

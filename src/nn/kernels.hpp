@@ -1,0 +1,128 @@
+// Fast host kernel backend: cache-blocked GEMM micro-kernels, an
+// im2col-on-the-fly convolution that never materializes the full patch
+// matrix, and shape-specialized depthwise / FuSe 1-D kernels, all
+// parallelized over independent output tiles on a process-wide
+// util::ThreadPool.
+//
+// The backend practices on the host what the paper practices on the
+// array: factor every operator onto a small set of efficient inner
+// kernels (GEMM panels for dense/pointwise/grouped convolutions and
+// linear layers, line kernels for the FuSe 1xK / Kx1 branches) instead
+// of running the naive 6-deep loops of the reference operators.
+//
+// Determinism contract (docs/kernels.md):
+//   * Every output element is owned by exactly one parallel task and its
+//     k-accumulation runs in a fixed order, so results are BIT-EXACT
+//     across thread counts (and across runs).
+//   * Each fast kernel reproduces the reference operator's accumulation
+//     type and order exactly — double accumulators seeded with the bias
+//     for conv2d/linear, in-order float accumulation for matmul, int32
+//     for the INT8 kernels — so fast outputs are bit-exact with the
+//     reference backend too (0 ULP; the only theoretical exception is
+//     the sign of an exact-zero output, which IEEE-754 +/-0 addition
+//     identities make unobservable in practice). tools/check.sh leans on
+//     this: golden results must be byte-identical under both backends.
+//
+// Backend selection: nn::conv2d / matmul / linear / the INT8 kernels and
+// the train::Module backward passes all dispatch on kernel_backend().
+// Default is kFast; set FUSE_KERNEL_BACKEND=reference (or the benches'
+// --kernel-backend flag) to pin the reference oracle. FUSE_KERNEL_THREADS
+// / --kernel-threads size the kernel pool (N threads = N-1 workers plus
+// the calling thread, mirroring the sweep engine's convention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/ops.hpp"
+#include "tensor/quantize.hpp"
+
+namespace fuse::util {
+class ThreadPool;
+}
+
+namespace fuse::nn {
+
+/// Which implementation the functional operators dispatch to.
+enum class KernelBackend {
+  kReference,  // the clarity-first loops (numeric ground truth)
+  kFast,       // this module's blocked/parallel kernels
+};
+
+/// Current backend. Initialized from FUSE_KERNEL_BACKEND (default fast).
+KernelBackend kernel_backend();
+
+/// Overrides the backend for the whole process. Not safe to call while
+/// kernels are executing on the pool.
+void set_kernel_backend(KernelBackend backend);
+
+/// Parses "fast" / "reference" (also "ref"). Returns false on anything
+/// else.
+bool parse_kernel_backend(const std::string& name, KernelBackend* out);
+
+const char* kernel_backend_name(KernelBackend backend);
+
+/// Total threads participating in kernel parallel_fors (workers + the
+/// calling thread, so 1 means fully serial). Initialized from
+/// FUSE_KERNEL_THREADS (default: hardware concurrency).
+int kernel_threads();
+
+/// Resizes the kernel pool to `threads` total threads (>= 1). Not safe to
+/// call while kernels are executing on the pool. Outputs are bit-exact
+/// for every value.
+void set_kernel_threads(int threads);
+
+/// The process-wide pool the fast kernels partition tiles over.
+util::ThreadPool& kernel_pool();
+
+namespace kernels {
+
+/// C[m, n] = A[m, k] * B[k, n], row-major, all operands dense. C is
+/// overwritten. Float accumulation in ascending-k order per output (the
+/// reference matmul's order), blocked into packed B column panels and
+/// register tiles, parallel over row blocks.
+void gemm_f32(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t k, std::int64_t n);
+
+/// Fast implementations of the public functional operators. Shapes and
+/// semantics are identical to the reference versions in nn/ops.hpp /
+/// nn/quantized.hpp; arguments are assumed pre-validated by the
+/// dispatching wrapper.
+Tensor matmul_fast(const Tensor& a, const Tensor& b);
+Tensor conv2d_fast(const Tensor& input, const Tensor& weight,
+                   const Tensor* bias, const Conv2dParams& params);
+Tensor linear_fast(const Tensor& input, const Tensor& weight,
+                   const Tensor* bias);
+Tensor conv2d_int8_fast(const tensor::QuantizedTensor& input,
+                        const tensor::QuantizedTensor& weight,
+                        const Conv2dParams& params);
+Tensor linear_int8_fast(const tensor::QuantizedTensor& input,
+                        const tensor::QuantizedTensor& weight);
+
+/// Fast training backward passes (train::Module dispatches here).
+/// Both ACCUMULATE into *weight_grad / *bias_grad (matching the
+/// reference `+=` semantics) and return grad_input. Bit-exact with the
+/// reference loops: grad_input is partitioned over batch images and the
+/// weight/bias gradients over output features, each with the reference
+/// visiting order inside the partition.
+Tensor conv2d_backward_fast(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output,
+                            const Conv2dParams& params, Tensor* weight_grad,
+                            Tensor* bias_grad);
+Tensor linear_backward_fast(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, Tensor* weight_grad,
+                            Tensor* bias_grad);
+
+/// Flattens an [C_out, C_in/g, Kh, Kw] filter bank to the [taps, C_out]
+/// matrix the im2col lowering multiplies against (taps ordered
+/// channel-major, then kernel row, then kernel column). Shared by the
+/// functional im2col path and the systolic executor's marshalling.
+Tensor flatten_filters(const Tensor& weight);
+
+/// [R, C] -> [C, R]. The executor uses this to lay fully-connected
+/// weights out as [F_in, F_out] for the array.
+Tensor transpose_2d(const Tensor& w);
+
+}  // namespace kernels
+
+}  // namespace fuse::nn

@@ -1,18 +1,35 @@
 #include "nn/ops.hpp"
 
 #include "nn/activations.hpp"
+#include "nn/kernels.hpp"
 
 #include <algorithm>
 #include <limits>
 
 #include "tensor/im2col.hpp"
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace fuse::nn {
 
 using tensor::conv_out_dim;
 
 namespace {
+
+/// True when the fast backend should run; bumps the per-backend dispatch
+/// counters either way.
+bool use_fast_backend() {
+  if (kernel_backend() == KernelBackend::kFast) {
+    static util::Counter& fast =
+        util::metrics().counter("kernels.dispatch.fast");
+    fast.add();
+    return true;
+  }
+  static util::Counter& reference =
+      util::metrics().counter("kernels.dispatch.reference");
+  reference.add();
+  return false;
+}
 
 /// Validates conv argument shapes and returns [out_h, out_w].
 std::pair<std::int64_t, std::int64_t> check_conv_args(
@@ -51,6 +68,18 @@ std::pair<std::int64_t, std::int64_t> check_conv_args(
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
               const Conv2dParams& params) {
+  check_conv_args(input, weight, bias, params);
+  if (use_fast_backend()) {
+    return kernels::conv2d_fast(input, weight, bias, params);
+  }
+  return conv2d_reference(input, weight, bias, params);
+}
+
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor* bias, const Conv2dParams& params) {
+  static util::Counter& counter =
+      util::metrics().counter("kernels.reference.conv2d");
+  counter.add();
   const auto [out_h, out_w] = check_conv_args(input, weight, bias, params);
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t in_c = input.shape().dim(1);
@@ -104,31 +133,16 @@ Tensor conv2d_im2col(const Tensor& input, const Tensor& weight,
   const auto [out_h, out_w] = check_conv_args(input, weight, bias, params);
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t out_c = weight.shape().dim(0);
-  const std::int64_t taps = weight.shape().dim(1) * weight.shape().dim(2) *
-                            weight.shape().dim(3);
-
   // Flatten the filter bank to [taps, C_out] so patches x filters is a
-  // single matmul per image.
-  Tensor filters(Shape{taps, out_c});
-  for (std::int64_t oc = 0; oc < out_c; ++oc) {
-    std::int64_t t = 0;
-    for (std::int64_t ic = 0; ic < weight.shape().dim(1); ++ic) {
-      for (std::int64_t ky = 0; ky < weight.shape().dim(2); ++ky) {
-        for (std::int64_t kx = 0; kx < weight.shape().dim(3); ++kx) {
-          filters.at(t, oc) = weight.at(oc, ic, ky, kx);
-          ++t;
-        }
-      }
-    }
-  }
+  // single matmul per image; hoisted out of the batch loop.
+  const Tensor filters = kernels::flatten_filters(weight);
 
   Tensor output(Shape{batch, out_c, out_h, out_w});
+  Tensor image(Shape{input.shape().dim(1), input.shape().dim(2),
+                     input.shape().dim(3)});
   for (std::int64_t n = 0; n < batch; ++n) {
-    Tensor image(Shape{input.shape().dim(1), input.shape().dim(2),
-                       input.shape().dim(3)});
-    for (std::int64_t i = 0; i < image.num_elements(); ++i) {
-      image[i] = input[n * image.num_elements() + i];
-    }
+    const float* src = input.data() + n * image.num_elements();
+    std::copy(src, src + image.num_elements(), image.data());
     const Tensor patches = tensor::im2col(
         image, weight.shape().dim(2), weight.shape().dim(3), params.stride_h,
         params.stride_w, params.pad_h, params.pad_w, params.dilation_h,
@@ -152,6 +166,16 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   FUSE_CHECK(a.shape().dim(1) == b.shape().dim(0))
       << "matmul inner dims differ: " << a.shape().to_string() << " x "
       << b.shape().to_string();
+  if (use_fast_backend()) {
+    return kernels::matmul_fast(a, b);
+  }
+  return matmul_reference(a, b);
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  static util::Counter& counter =
+      util::metrics().counter("kernels.reference.matmul");
+  counter.add();
   const std::int64_t rows = a.shape().dim(0);
   const std::int64_t inner = a.shape().dim(1);
   const std::int64_t cols = b.shape().dim(1);
@@ -180,13 +204,25 @@ Tensor linear(const Tensor& input, const Tensor& weight,
   FUSE_CHECK(input.shape().dim(1) == weight.shape().dim(1))
       << "linear feature mismatch: input " << input.shape().to_string()
       << " weight " << weight.shape().to_string();
+  if (bias != nullptr) {
+    FUSE_CHECK(bias->shape().rank() == 1 &&
+               bias->shape().dim(0) == weight.shape().dim(0))
+        << "linear bias must be [F_out]";
+  }
+  if (use_fast_backend()) {
+    return kernels::linear_fast(input, weight, bias);
+  }
+  return linear_reference(input, weight, bias);
+}
+
+Tensor linear_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor* bias) {
+  static util::Counter& counter =
+      util::metrics().counter("kernels.reference.linear");
+  counter.add();
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t in_f = input.shape().dim(1);
   const std::int64_t out_f = weight.shape().dim(0);
-  if (bias != nullptr) {
-    FUSE_CHECK(bias->shape().rank() == 1 && bias->shape().dim(0) == out_f)
-        << "linear bias must be [F_out]";
-  }
   Tensor out(Shape{batch, out_f});
   for (std::int64_t n = 0; n < batch; ++n) {
     for (std::int64_t o = 0; o < out_f; ++o) {

@@ -1,9 +1,11 @@
-// Functional reference operators (float32, NCHW).
+// Functional operators (float32, NCHW).
 //
-// These are the numeric ground truth for everything else in the repo: the
-// systolic-array simulator's outputs, the FuSeConv operator, and the
-// training substrate are all validated against these loops. Clarity over
-// speed; the only optimization is the im2col+matmul path used by benchmarks.
+// The *_reference loops are the numeric ground truth for everything else
+// in the repo: the systolic-array simulator's outputs, the FuSeConv
+// operator, and the training substrate are all validated against them.
+// The public conv2d/matmul/linear entry points dispatch between those
+// loops and the blocked/parallel fast backend in nn/kernels.hpp; the two
+// backends are bit-identical, so callers never need to care which ran.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +36,15 @@ struct Conv2dParams {
 /// Covers standard (groups=1), depthwise (groups=C_in, C_out=C_in),
 /// pointwise (Kh=Kw=1), and FuSeConv's 1-D branches (Kh=1 or Kw=1 with
 /// groups=C_in).
+/// Dispatches on nn::kernel_backend() (see nn/kernels.hpp); both backends
+/// produce bit-identical results.
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
               const Conv2dParams& params);
+
+/// The clarity-first loops conv2d dispatches to under the reference
+/// backend; kept public as the numeric oracle for differential tests.
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor* bias, const Conv2dParams& params);
 
 /// conv2d lowered through im2col + matmul (groups=1 only). Numerically
 /// identical to conv2d; exists to validate the lowering the systolic
@@ -43,12 +52,20 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
 Tensor conv2d_im2col(const Tensor& input, const Tensor& weight,
                      const Tensor* bias, const Conv2dParams& params);
 
-/// Dense matrix product: [M, K] x [K, N] -> [M, N].
+/// Dense matrix product: [M, K] x [K, N] -> [M, N]. Dispatches on
+/// nn::kernel_backend().
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+/// Reference oracle behind matmul.
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
+
 /// Fully connected: input [N, F_in], weight [F_out, F_in], bias [F_out] or
-/// nullptr -> [N, F_out].
+/// nullptr -> [N, F_out]. Dispatches on nn::kernel_backend().
 Tensor linear(const Tensor& input, const Tensor& weight, const Tensor* bias);
+
+/// Reference oracle behind linear.
+Tensor linear_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor* bias);
 
 /// Average pooling with window `kernel`, stride `stride`, zero padding
 /// `pad` (count_include_pad=false semantics: divisor is the number of valid

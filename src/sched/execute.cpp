@@ -1,5 +1,8 @@
 #include "sched/execute.hpp"
 
+#include <algorithm>
+
+#include "nn/kernels.hpp"
 #include "systolic/mapping.hpp"
 #include "tensor/im2col.hpp"
 #include "util/check.hpp"
@@ -24,9 +27,7 @@ Tensor squeeze_batch(const Tensor& input) {
       << input.shape().to_string();
   Tensor image(Shape{input.shape().dim(1), input.shape().dim(2),
                      input.shape().dim(3)});
-  for (std::int64_t i = 0; i < image.num_elements(); ++i) {
-    image[i] = input[i];
-  }
+  std::copy(input.data(), input.data() + image.num_elements(), image.data());
   return image;
 }
 
@@ -64,19 +65,7 @@ LayerExecution execute_standard_conv(const LayerDesc& layer,
              op.k == patches.shape().dim(1) && op.n == layer.out_c)
       << "im2col plan does not match layer " << layer.name;
   // Flatten the filter bank to [taps, C_out].
-  const std::int64_t taps =
-      layer.in_c * layer.kernel_h * layer.kernel_w;
-  Tensor filters(Shape{taps, layer.out_c});
-  for (std::int64_t oc = 0; oc < layer.out_c; ++oc) {
-    std::int64_t t = 0;
-    for (std::int64_t ic = 0; ic < layer.in_c; ++ic) {
-      for (std::int64_t ky = 0; ky < layer.kernel_h; ++ky) {
-        for (std::int64_t kx = 0; kx < layer.kernel_w; ++kx) {
-          filters.at(t++, oc) = weight.at(oc, ic, ky, kx);
-        }
-      }
-    }
-  }
+  const Tensor filters = nn::kernels::flatten_filters(weight);
   SimResult result = sim.matmul(patches, filters);
   LayerExecution exec = from_sim(std::move(result));
   exec.output =
@@ -189,12 +178,8 @@ LayerExecution execute_pointwise(const LayerDesc& layer,
       activations.at(pos, c) = image[c * positions + pos];
     }
   }
-  Tensor filters(Shape{layer.in_c, layer.out_c});
-  for (std::int64_t oc = 0; oc < layer.out_c; ++oc) {
-    for (std::int64_t ic = 0; ic < layer.in_c; ++ic) {
-      filters.at(ic, oc) = weight.at(oc, ic, 0, 0);
-    }
-  }
+  // [C_out, C_in, 1, 1] flattens to exactly the [C_in, C_out] operand.
+  const Tensor filters = nn::kernels::flatten_filters(weight);
   SimResult result = sim.matmul(activations, filters);
   LayerExecution exec = from_sim(std::move(result));
   exec.output =
@@ -323,12 +308,7 @@ LayerExecution execute_fully_connected(const LayerDesc& layer,
   FUSE_CHECK(op.m == 1 && op.k == layer.in_c && op.n == layer.out_c)
       << "FC plan does not match layer " << layer.name;
   const Tensor row = input.reshaped(Shape{1, layer.in_c});
-  Tensor filters(Shape{layer.in_c, layer.out_c});
-  for (std::int64_t o = 0; o < layer.out_c; ++o) {
-    for (std::int64_t i = 0; i < layer.in_c; ++i) {
-      filters.at(i, o) = weight.at(o, i);
-    }
-  }
+  const Tensor filters = nn::kernels::transpose_2d(weight);
   SimResult result = sim.matmul(row, filters);
   LayerExecution exec = from_sim(std::move(result));
   exec.output = exec.output.reshaped(Shape{1, layer.out_c, 1, 1});

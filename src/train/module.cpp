@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.hpp"
 #include "tensor/im2col.hpp"
 #include "util/check.hpp"
 
@@ -64,6 +65,15 @@ Tensor Conv2d::forward(const Tensor& input) {
 Tensor Conv2d::backward(const Tensor& grad_output) {
   const Tensor& input = cached_input_;
   FUSE_CHECK(input.num_elements() > 0) << name_ << ": backward before forward";
+
+  if (nn::kernel_backend() == nn::KernelBackend::kFast) {
+    // Bit-exact with the loops below: the fast path partitions grad_input
+    // over images and the weight/bias gradients over output channels,
+    // preserving each accumulator's reference visiting order.
+    return nn::kernels::conv2d_backward_fast(input, weight_.value,
+                                             grad_output, params_,
+                                             &weight_.grad, &bias_.grad);
+  }
 
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t in_c = input.shape().dim(1);
@@ -140,6 +150,11 @@ Tensor Linear::forward(const Tensor& input) {
 
 Tensor Linear::backward(const Tensor& grad_output) {
   const Tensor& input = cached_input_;
+  if (nn::kernel_backend() == nn::KernelBackend::kFast) {
+    return nn::kernels::linear_backward_fast(input, weight_.value,
+                                             grad_output, &weight_.grad,
+                                             &bias_.grad);
+  }
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t in_f = input.shape().dim(1);
   const std::int64_t out_f = grad_output.shape().dim(1);

@@ -1,0 +1,384 @@
+// Differential tests for the fast kernel backend (nn/kernels.hpp): the
+// fast kernels must be BIT-EXACT with the reference operators across a
+// grid of geometries (stride/pad/dilation/groups x every operator kind),
+// bit-exact across thread counts, and produce an identical training
+// trajectory. "Bit-exact" is tested literally — memcmp over the output
+// buffers — which is the documented ULP bound (0) of docs/kernels.md.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/kernels.hpp"
+#include "nn/ops.hpp"
+#include "nn/quantized.hpp"
+#include "tensor/quantize.hpp"
+#include "train/loss.hpp"
+#include "train/module.hpp"
+#include "train/optimizer.hpp"
+#include "util/rng.hpp"
+#include "util/telemetry.hpp"
+
+namespace fuse::nn {
+namespace {
+
+using tensor::QuantizedTensor;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = -1.0F,
+                     float hi = 1.0F) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, lo, hi);
+  return t;
+}
+
+/// Restores backend + thread-count state on scope exit so tests compose.
+struct BackendGuard {
+  KernelBackend saved_backend = kernel_backend();
+  int saved_threads = kernel_threads();
+  ~BackendGuard() {
+    set_kernel_backend(saved_backend);
+    set_kernel_threads(saved_threads);
+  }
+};
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.num_elements()) *
+                         sizeof(float)) == 0;
+}
+
+/// One conv geometry of the differential grid.
+struct ConvCase {
+  const char* name;
+  std::int64_t batch, in_c, out_c, h, w, kh, kw;
+  Conv2dParams params;
+};
+
+std::vector<ConvCase> conv_grid() {
+  std::vector<ConvCase> cases;
+  // Dense convolutions across stride/pad/dilation.
+  cases.push_back({"dense_3x3", 2, 3, 8, 9, 11, 3, 3, {1, 1, 1, 1, 1, 1, 1}});
+  cases.push_back({"dense_3x3_s2", 1, 4, 6, 13, 9, 3, 3,
+                   {2, 2, 1, 1, 1, 1, 1}});
+  cases.push_back({"dense_5x5_dilated", 1, 3, 5, 17, 15, 5, 5,
+                   {1, 1, 4, 4, 2, 2, 1}});
+  cases.push_back({"dense_asym", 1, 2, 7, 10, 14, 1, 5,
+                   {1, 2, 0, 2, 1, 1, 1}});
+  cases.push_back({"pointwise", 2, 6, 10, 7, 7, 1, 1, {1, 1, 0, 0, 1, 1, 1}});
+  cases.push_back({"nopad", 1, 3, 4, 8, 8, 3, 3, {1, 1, 0, 0, 1, 1, 1}});
+  // Grouped (non-depthwise).
+  cases.push_back({"grouped_2", 1, 8, 12, 9, 9, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 2}});
+  cases.push_back({"grouped_4_s2", 2, 8, 8, 11, 11, 3, 3,
+                   {2, 2, 1, 1, 1, 1, 4}});
+  // Depthwise 3x3 / 5x5 (the shape-specialized kernels).
+  cases.push_back({"depthwise_3x3", 2, 6, 6, 12, 12, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 6}});
+  cases.push_back({"depthwise_3x3_s2", 1, 5, 5, 13, 11, 3, 3,
+                   {2, 2, 1, 1, 1, 1, 5}});
+  cases.push_back({"depthwise_5x5", 1, 4, 4, 15, 15, 5, 5,
+                   {1, 1, 2, 2, 1, 1, 4}});
+  cases.push_back({"depthwise_dilated", 1, 3, 3, 16, 16, 3, 3,
+                   {1, 1, 2, 2, 2, 2, 3}});
+  cases.push_back({"depthwise_1x1", 1, 4, 4, 6, 6, 1, 1,
+                   {1, 1, 0, 0, 1, 1, 4}});
+  // FuSe row (1xK) and col (Kx1) branches.
+  cases.push_back({"fuse_row_3", 2, 5, 5, 10, 12, 1, 3,
+                   {1, 1, 0, 1, 1, 1, 5}});
+  cases.push_back({"fuse_row_5_s2", 1, 4, 4, 9, 17, 1, 5,
+                   {2, 2, 0, 2, 1, 1, 4}});
+  cases.push_back({"fuse_col_3", 2, 5, 5, 12, 10, 3, 1,
+                   {1, 1, 1, 0, 1, 1, 5}});
+  cases.push_back({"fuse_col_5_s2", 1, 4, 4, 17, 9, 5, 1,
+                   {2, 2, 2, 0, 1, 1, 4}});
+  cases.push_back({"fuse_row_pad_bigger_than_line", 1, 2, 2, 5, 3, 1, 3,
+                   {1, 1, 0, 2, 1, 1, 2}});
+  return cases;
+}
+
+TEST(KernelsDifferential, ConvGridBitExact) {
+  BackendGuard guard;
+  for (const ConvCase& c : conv_grid()) {
+    const Tensor input =
+        random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 11);
+    const Tensor weight = random_tensor(
+        Shape{c.out_c, c.in_c / c.params.groups, c.kh, c.kw}, 12);
+    const Tensor bias = random_tensor(Shape{c.out_c}, 13);
+    const Tensor ref = conv2d_reference(input, weight, &bias, c.params);
+    const Tensor fast = kernels::conv2d_fast(input, weight, &bias, c.params);
+    EXPECT_TRUE(bit_equal(ref, fast)) << c.name;
+    // No-bias path too (the accumulator seed differs).
+    EXPECT_TRUE(bit_equal(conv2d_reference(input, weight, nullptr, c.params),
+                          kernels::conv2d_fast(input, weight, nullptr,
+                                               c.params)))
+        << c.name << " (no bias)";
+    // And through the public dispatcher under each backend.
+    set_kernel_backend(KernelBackend::kReference);
+    const Tensor via_ref = conv2d(input, weight, &bias, c.params);
+    set_kernel_backend(KernelBackend::kFast);
+    const Tensor via_fast = conv2d(input, weight, &bias, c.params);
+    EXPECT_TRUE(bit_equal(via_ref, via_fast)) << c.name << " (dispatch)";
+  }
+}
+
+TEST(KernelsDifferential, MatmulBitExact) {
+  for (const auto& [m, k, n] :
+       std::vector<std::tuple<int, int, int>>{{1, 1, 1},
+                                              {3, 5, 7},
+                                              {8, 8, 8},
+                                              {17, 33, 9},
+                                              {64, 48, 96},
+                                              {196, 576, 96}}) {
+    const Tensor a = random_tensor(Shape{m, k}, 21);
+    const Tensor b = random_tensor(Shape{k, n}, 22);
+    EXPECT_TRUE(bit_equal(matmul_reference(a, b), kernels::matmul_fast(a, b)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(KernelsDifferential, MatmulWithZeroRowsBitExact) {
+  // matmul_reference skips a_ik == 0 entries (im2col padding rows); the
+  // fast kernel multiplies them. IEEE +-0 addition makes both identical.
+  Tensor a = random_tensor(Shape{9, 12}, 23);
+  for (std::int64_t i = 0; i < a.num_elements(); i += 3) {
+    a[i] = 0.0F;
+  }
+  const Tensor b = random_tensor(Shape{12, 20}, 24);
+  EXPECT_TRUE(bit_equal(matmul_reference(a, b), kernels::matmul_fast(a, b)));
+}
+
+TEST(KernelsDifferential, LinearBitExact) {
+  for (const auto& [batch, in_f, out_f] :
+       std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {1, 9, 5}, {3, 17, 31}, {8, 1280, 1000}}) {
+    const Tensor input = random_tensor(Shape{batch, in_f}, 31);
+    const Tensor weight = random_tensor(Shape{out_f, in_f}, 32);
+    const Tensor bias = random_tensor(Shape{out_f}, 33);
+    EXPECT_TRUE(bit_equal(linear_reference(input, weight, &bias),
+                          kernels::linear_fast(input, weight, &bias)))
+        << batch << "x" << in_f << "x" << out_f;
+    EXPECT_TRUE(bit_equal(linear_reference(input, weight, nullptr),
+                          kernels::linear_fast(input, weight, nullptr)))
+        << batch << "x" << in_f << "x" << out_f << " (no bias)";
+  }
+}
+
+TEST(KernelsDifferential, Int8OperatorsExact) {
+  for (const ConvCase& c : conv_grid()) {
+    const Tensor input =
+        random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 41, -2.0F, 3.0F);
+    const Tensor weight = random_tensor(
+        Shape{c.out_c, c.in_c / c.params.groups, c.kh, c.kw}, 42);
+    const QuantizedTensor q_in = tensor::quantize_calibrated(input);
+    const QuantizedTensor q_w =
+        tensor::quantize_calibrated(weight, /*symmetric=*/true);
+    EXPECT_TRUE(bit_equal(conv2d_int8_reference(q_in, q_w, c.params),
+                          kernels::conv2d_int8_fast(q_in, q_w, c.params)))
+        << c.name;
+  }
+  const Tensor input = random_tensor(Shape{3, 40}, 43, -2.0F, 2.0F);
+  const Tensor weight = random_tensor(Shape{50, 40}, 44);
+  const QuantizedTensor q_in = tensor::quantize_calibrated(input);
+  const QuantizedTensor q_w =
+      tensor::quantize_calibrated(weight, /*symmetric=*/true);
+  EXPECT_TRUE(bit_equal(linear_int8_reference(q_in, q_w),
+                        kernels::linear_int8_fast(q_in, q_w)));
+}
+
+TEST(KernelsDifferential, BackwardBitExact) {
+  for (const ConvCase& c : conv_grid()) {
+    const Tensor input =
+        random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 51);
+    const Shape w_shape{c.out_c, c.in_c / c.params.groups, c.kh, c.kw};
+    const Tensor weight = random_tensor(w_shape, 52);
+    const Tensor probe = conv2d_reference(input, weight, nullptr, c.params);
+    Tensor grad_out = random_tensor(probe.shape(), 53);
+    // Exercise the go == 0 skip branches as well.
+    for (std::int64_t i = 0; i < grad_out.num_elements(); i += 5) {
+      grad_out[i] = 0.0F;
+    }
+
+    // Reference gradients (the loops in train/module.cpp, restated
+    // through the reference backend of the module itself).
+    BackendGuard guard;
+    util::Rng rng(54);
+    train::Conv2d ref_layer("k", c.in_c, c.out_c, c.kh, c.kw, c.params, rng);
+    util::Rng rng2(54);
+    train::Conv2d fast_layer("k", c.in_c, c.out_c, c.kh, c.kw, c.params,
+                             rng2);
+    set_kernel_backend(KernelBackend::kReference);
+    (void)ref_layer.forward(input);
+    const Tensor gi_ref = ref_layer.backward(grad_out);
+    set_kernel_backend(KernelBackend::kFast);
+    (void)fast_layer.forward(input);
+    const Tensor gi_fast = fast_layer.backward(grad_out);
+    EXPECT_TRUE(bit_equal(gi_ref, gi_fast)) << c.name << " grad_input";
+
+    std::vector<train::Parameter*> ref_params;
+    std::vector<train::Parameter*> fast_params;
+    ref_layer.collect_params(ref_params);
+    fast_layer.collect_params(fast_params);
+    ASSERT_EQ(ref_params.size(), fast_params.size());
+    for (std::size_t i = 0; i < ref_params.size(); ++i) {
+      EXPECT_TRUE(bit_equal(ref_params[i]->grad, fast_params[i]->grad))
+          << c.name << " " << ref_params[i]->name;
+    }
+  }
+}
+
+TEST(KernelsDeterminism, BitExactAcrossThreadCounts) {
+  BackendGuard guard;
+  const Tensor input = random_tensor(Shape{2, 16, 23, 19}, 61);
+  const Tensor weight = random_tensor(Shape{24, 16, 3, 3}, 62);
+  const Tensor bias = random_tensor(Shape{24}, 63);
+  const Conv2dParams params{2, 2, 1, 1, 1, 1, 1};
+  const Tensor a = random_tensor(Shape{150, 70}, 64);
+  const Tensor b = random_tensor(Shape{70, 90}, 65);
+  const Tensor lin_in = random_tensor(Shape{5, 200}, 66);
+  const Tensor lin_w = random_tensor(Shape{130, 200}, 67);
+  const Tensor dw_w = random_tensor(Shape{16, 1, 3, 3}, 68);
+  const Conv2dParams dw_params{1, 1, 1, 1, 1, 1, 16};
+
+  set_kernel_threads(1);
+  const Tensor conv1 = kernels::conv2d_fast(input, weight, &bias, params);
+  const Tensor mm1 = kernels::matmul_fast(a, b);
+  const Tensor lin1 = kernels::linear_fast(lin_in, lin_w, nullptr);
+  const Tensor dw1 = kernels::conv2d_fast(input, dw_w, nullptr, dw_params);
+  for (int threads : {2, 3, 5}) {
+    set_kernel_threads(threads);
+    EXPECT_TRUE(bit_equal(
+        conv1, kernels::conv2d_fast(input, weight, &bias, params)))
+        << threads << " threads (conv)";
+    EXPECT_TRUE(bit_equal(mm1, kernels::matmul_fast(a, b)))
+        << threads << " threads (matmul)";
+    EXPECT_TRUE(bit_equal(lin1, kernels::linear_fast(lin_in, lin_w, nullptr)))
+        << threads << " threads (linear)";
+    EXPECT_TRUE(bit_equal(
+        dw1, kernels::conv2d_fast(input, dw_w, nullptr, dw_params)))
+        << threads << " threads (depthwise)";
+  }
+}
+
+/// Runs a few SGD steps of a small conv net and returns the loss
+/// trajectory and final parameter tensors.
+std::pair<std::vector<double>, std::vector<Tensor>> train_steps(
+    KernelBackend backend) {
+  BackendGuard guard;
+  set_kernel_backend(backend);
+  util::Rng rng(71);
+  train::Sequential model;
+  model.add(std::make_unique<train::Conv2d>(
+      "c1", 2, 4, 3, 3, Conv2dParams{1, 1, 1, 1, 1, 1, 1}, rng));
+  model.add(std::make_unique<train::ActivationLayer>(Activation::kRelu));
+  model.add(std::make_unique<train::Flatten>());
+  model.add(std::make_unique<train::Linear>("fc", 4 * 6 * 6, 3, rng));
+
+  std::vector<train::Parameter*> params;
+  model.collect_params(params);
+  train::Sgd sgd(params, /*lr=*/0.05, /*momentum=*/0.9);
+
+  const Tensor inputs = random_tensor(Shape{4, 2, 6, 6}, 72);
+  std::vector<std::int64_t> labels = {0, 2, 1, 0};
+  std::vector<double> losses;
+  for (int step = 0; step < 5; ++step) {
+    for (train::Parameter* p : params) {
+      p->zero_grad();
+    }
+    const Tensor logits = model.forward(inputs);
+    const train::LossResult loss = train::softmax_cross_entropy(
+        logits, labels);
+    losses.push_back(loss.loss);
+    model.backward(loss.grad_logits);
+    sgd.step();
+  }
+  std::vector<Tensor> final_params;
+  final_params.reserve(params.size());
+  for (train::Parameter* p : params) {
+    final_params.push_back(p->value);
+  }
+  return {losses, final_params};
+}
+
+TEST(KernelsTrainParity, LossTrajectoryIdentical) {
+  const auto [ref_losses, ref_params] =
+      train_steps(KernelBackend::kReference);
+  const auto [fast_losses, fast_params] = train_steps(KernelBackend::kFast);
+  ASSERT_EQ(ref_losses.size(), fast_losses.size());
+  for (std::size_t i = 0; i < ref_losses.size(); ++i) {
+    EXPECT_EQ(ref_losses[i], fast_losses[i]) << "step " << i;
+  }
+  ASSERT_EQ(ref_params.size(), fast_params.size());
+  for (std::size_t i = 0; i < ref_params.size(); ++i) {
+    EXPECT_TRUE(bit_equal(ref_params[i], fast_params[i])) << "param " << i;
+  }
+}
+
+TEST(KernelsBackend, ParseAndName) {
+  KernelBackend backend = KernelBackend::kReference;
+  EXPECT_TRUE(parse_kernel_backend("fast", &backend));
+  EXPECT_EQ(backend, KernelBackend::kFast);
+  EXPECT_TRUE(parse_kernel_backend("reference", &backend));
+  EXPECT_EQ(backend, KernelBackend::kReference);
+  EXPECT_TRUE(parse_kernel_backend("ref", &backend));
+  EXPECT_EQ(backend, KernelBackend::kReference);
+  EXPECT_FALSE(parse_kernel_backend("warp-speed", &backend));
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kFast), "fast");
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kReference), "reference");
+}
+
+TEST(KernelsTelemetry, DispatchCountersAdvance) {
+  BackendGuard guard;
+  const Tensor a = random_tensor(Shape{4, 4}, 81);
+  const Tensor b = random_tensor(Shape{4, 4}, 82);
+  util::Counter& fast_count =
+      util::metrics().counter("kernels.dispatch.fast");
+  util::Counter& ref_count =
+      util::metrics().counter("kernels.dispatch.reference");
+  const std::uint64_t fast_before = fast_count.value();
+  const std::uint64_t ref_before = ref_count.value();
+  set_kernel_backend(KernelBackend::kFast);
+  (void)matmul(a, b);
+  set_kernel_backend(KernelBackend::kReference);
+  (void)matmul(a, b);
+#if FUSE_TELEMETRY
+  EXPECT_EQ(fast_count.value(), fast_before + 1);
+  EXPECT_EQ(ref_count.value(), ref_before + 1);
+#else
+  (void)fast_before;
+  (void)ref_before;
+#endif
+}
+
+TEST(KernelsHelpers, FlattenFiltersMatchesIm2colOrder) {
+  const Tensor weight = random_tensor(Shape{3, 2, 2, 2}, 91);
+  const Tensor flat = kernels::flatten_filters(weight);
+  ASSERT_EQ(flat.shape(), (Shape{8, 3}));
+  for (std::int64_t oc = 0; oc < 3; ++oc) {
+    std::int64_t t = 0;
+    for (std::int64_t ic = 0; ic < 2; ++ic) {
+      for (std::int64_t ky = 0; ky < 2; ++ky) {
+        for (std::int64_t kx = 0; kx < 2; ++kx) {
+          EXPECT_EQ(flat.at(t, oc), weight.at(oc, ic, ky, kx));
+          ++t;
+        }
+      }
+    }
+  }
+  const Tensor mat = random_tensor(Shape{3, 5}, 92);
+  const Tensor t = kernels::transpose_2d(mat);
+  ASSERT_EQ(t.shape(), (Shape{5, 3}));
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(t.at(c, r), mat.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuse::nn

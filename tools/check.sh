@@ -3,20 +3,30 @@
 #   1. default build + complete test suite,
 #   2. ThreadSanitizer build running the concurrency suites
 #      (test_thread_pool, test_sweep_determinism, test_properties,
-#      test_telemetry),
+#      test_telemetry, test_kernels — the last covers the fast kernel
+#      backend's parallel_for tiling),
 #   3. AddressSanitizer build running the mapping/executor suites
 #      (test_mapping, test_execute, test_systolic_sim),
-#   4. bench determinism: every bench binary's output must be
+#   4. Release (-O3) build running the kernel differential suite plus a
+#      bench_kernels smoke pass — the fast backend's bit-exactness must
+#      survive full optimization, not just the default build,
+#   5. bench determinism: every bench binary's output must be
 #      byte-identical between --threads=1 --no-cache and --threads=8
 #      (only footer lines — see filter_bench_output — may differ),
-#   5. telemetry export: profile_network's trace/stats JSON must parse.
+#   6. backend equality: every table/figure bench's stdout and CSVs must
+#      be byte-identical between --kernel-backend=fast and
+#      --kernel-backend=reference (the fast kernels are bit-exact, so
+#      every golden in results/ is backend-independent),
+#   7. telemetry export: profile_network's trace/stats JSON must parse.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
+#        [release-build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 ASAN_DIR="${3:-build-asan}"
+RELEASE_DIR="${4:-build-release}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
@@ -28,15 +38,15 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/5] default build + full test suite ==="
+echo "=== [1/7] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/5] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/7] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
-                   test_telemetry)
+                   test_telemetry test_kernels)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target "${CONCURRENCY_TESTS[@]}"
@@ -46,7 +56,7 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/5] AddressSanitizer build + mapping/executor suites ==="
+echo "=== [3/7] AddressSanitizer build + mapping/executor suites ==="
 ASAN_TESTS=(test_mapping test_execute test_systolic_sim)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -57,7 +67,17 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/5] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [4/7] Release -O3 build: kernel differential suite + bench smoke ==="
+cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
+echo "--- test_kernels (Release) ---"
+"$RELEASE_DIR/tests/test_kernels"
+echo "--- bench_kernels smoke (Release) ---"
+"$RELEASE_DIR/bench/bench_kernels" --benchmark_min_time=0.01 > /dev/null
+echo "bench_kernels smoke: ok"
+
+echo
+echo "=== [5/7] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
@@ -79,7 +99,54 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [5/5] telemetry export: profile_network JSON validity ==="
+echo "=== [6/7] backend equality: --kernel-backend=fast vs reference ==="
+# Every golden-producing bench (all of bench/ except the google-benchmark
+# micro-bench, whose output is wall time). Each runs with --csv where
+# supported, in a per-backend scratch dir; stdout and every CSV written
+# must match byte-for-byte. bench_accuracy_synth runs real training, so
+# it gets reduced arguments to keep the (much slower) reference leg short;
+# the full-size equality evidence is that results/bench_accuracy_synth.txt
+# itself regenerates identically under either backend.
+GOLDEN_BENCHES=(bench_table1 bench_fig8a_latency bench_fig8b_layerwise
+                bench_fig8c_opdist bench_fig8d_scaling bench_overhead
+                bench_intro_resnet bench_accuracy_synth bench_ria_analysis
+                bench_ablation_broadcast bench_ablation_dataflow
+                bench_ablation_memory bench_energy bench_width_mult
+                bench_resolution bench_ablation_aspect bench_nos
+                bench_pareto)
+for bench in "${GOLDEN_BENCHES[@]}"; do
+  bin="$REPO_ROOT/$BUILD_DIR/bench/$bench"
+  [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
+  extra=()
+  if "$bin" --help 2>&1 | grep -q -- '--csv'; then
+    extra+=(--csv)
+  fi
+  if [ "$bench" = bench_accuracy_synth ]; then
+    extra+=(--seeds=1 --epochs=2 --train=64 --eval=32)
+  fi
+  for backend in fast reference; do
+    dir="$TELEMETRY_TMP/$bench.$backend"
+    mkdir -p "$dir"
+    if [ "$bench" = bench_ria_analysis ]; then
+      # The one bench with no CLI flags: backend comes from the env.
+      (cd "$dir" && FUSE_KERNEL_BACKEND="$backend" "$bin" \
+         | filter_bench_output > stdout.txt)
+    else
+      (cd "$dir" && "$bin" --kernel-backend="$backend" "${extra[@]}" \
+         | filter_bench_output > stdout.txt)
+    fi
+  done
+  if diff -r "$TELEMETRY_TMP/$bench.fast" "$TELEMETRY_TMP/$bench.reference"
+  then
+    echo "$bench: backends byte-identical"
+  else
+    echo "$bench: OUTPUT DIVERGED between kernel backends" >&2
+    exit 1
+  fi
+done
+
+echo
+echo "=== [7/7] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"

@@ -21,7 +21,10 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   name="$(basename "$bench")"
   echo "=== $name ==="
   # bench_kernels (google-benchmark) and bench_ria_analysis take no --csv.
-  if "$bench" --help 2>&1 | grep -q -- '--csv'; then
+  if [ "$name" = bench_kernels ]; then
+    # Machine-readable perf rows (op, backend, ns/op, GFLOP/s) ride along.
+    "$bench" --json="$RESULTS_DIR/BENCH_kernels.json" | tee "$name.txt"
+  elif "$bench" --help 2>&1 | grep -q -- '--csv'; then
     "$bench" --csv | tee "$name.txt"
   else
     "$bench" | tee "$name.txt"
