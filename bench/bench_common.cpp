@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "nn/kernels.hpp"
+#include "systolic/sim.hpp"
 #include "util/check.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace_sink.hpp"
@@ -38,10 +39,32 @@ void apply_kernel_flags(const util::CliFlags& flags) {
   }
 }
 
+void add_sim_flags(util::CliFlags& flags) {
+  flags.add_string("sim-backend",
+                   systolic::sim_backend_name(systolic::sim_backend()),
+                   "cycle-accurate simulator engine: fast or reference");
+  flags.add_int("sim-threads", systolic::sim_threads(),
+                "total threads for the fast simulator's fold parallel_for");
+}
+
+void apply_sim_flags(const util::CliFlags& flags) {
+  const std::string name = flags.get_string("sim-backend");
+  systolic::SimBackend backend;
+  FUSE_CHECK(systolic::parse_sim_backend(name, &backend))
+      << "--sim-backend must be 'fast' or 'reference', got '" << name << "'";
+  systolic::set_sim_backend(backend);
+  const std::int64_t threads = flags.get_int("sim-threads");
+  FUSE_CHECK(threads >= 1) << "--sim-threads must be >= 1";
+  if (threads != systolic::sim_threads()) {
+    systolic::set_sim_threads(static_cast<int>(threads));
+  }
+}
+
 SweepHarness::SweepHarness(util::CliFlags& flags) {
   sched::add_sweep_flags(flags);
   add_telemetry_flags(flags);
   add_kernel_flags(flags);
+  add_sim_flags(flags);
 }
 
 SweepHarness::~SweepHarness() { finalize(); }
@@ -49,6 +72,7 @@ SweepHarness::~SweepHarness() { finalize(); }
 sched::SweepEngine& SweepHarness::engine(const util::CliFlags& flags) {
   FUSE_CHECK(!engine_) << "SweepHarness::engine called twice";
   apply_kernel_flags(flags);
+  apply_sim_flags(flags);
   trace_path_ = flags.get_string("trace-json");
   stats_path_ = flags.get_string("stats-json");
   if (!trace_path_.empty() && util::telemetry_enabled()) {
@@ -89,7 +113,12 @@ void SweepHarness::finalize() {
 void SweepHarness::print_footer() {
   FUSE_CHECK(engine_) << "SweepHarness::print_footer before engine()";
   stop();
-  std::printf("\n%s\n", sched::sweep_stats_line(*engine_, wall_ms_).c_str());
+  // Record engine provenance on the footer line (filtered out of golden
+  // comparisons together with the varying wall time).
+  std::printf("\n%s, kernels=%s, sim=%s\n",
+              sched::sweep_stats_line(*engine_, wall_ms_).c_str(),
+              nn::kernel_backend_name(nn::kernel_backend()),
+              systolic::sim_backend_name(systolic::sim_backend()));
   finalize();
 }
 

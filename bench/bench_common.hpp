@@ -50,6 +50,15 @@ void add_kernel_flags(util::CliFlags& flags);
 /// Applies the parsed kernel flags to the process-wide backend state.
 void apply_kernel_flags(const util::CliFlags& flags);
 
+/// Registers --sim-backend (fast|reference, default: current, i.e.
+/// FUSE_SIM_BACKEND or fast) and --sim-threads (total threads for the fast
+/// simulator's fold parallel_for, default: current). SweepHarness calls
+/// this; the sim-driven examples reuse the pair.
+void add_sim_flags(util::CliFlags& flags);
+
+/// Applies the parsed sim flags to the process-wide simulator state.
+void apply_sim_flags(const util::CliFlags& flags);
+
 class SweepHarness {
  public:
   /// Registers --threads/--no-cache plus the telemetry flags on `flags`.
@@ -70,8 +79,10 @@ class SweepHarness {
   /// timed window ends at the first stop() (or at print_footer()).
   void stop();
 
-  /// Prints the sweep stats footer (stops the clock first if running),
-  /// then silently writes --trace-json/--stats-json if requested.
+  /// Prints the sweep stats footer — the sweep_stats_line plus the kernel
+  /// and sim backends that produced the run (stops the clock first if
+  /// running) — then silently writes --trace-json/--stats-json if
+  /// requested.
   void print_footer();
 
  private:

@@ -5,8 +5,10 @@
 // lights up the whole grid.
 //
 // Usage: pe_heatmap [--size=16] [--channels=16] [--hw=16]
+//                   [--sim-backend=fast|reference] [--sim-threads=N]
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "systolic/sim.hpp"
 #include "tensor/im2col.hpp"
 #include "util/cli.hpp"
@@ -19,7 +21,9 @@ int main(int argc, char** argv) {
   flags.add_int("size", 16, "systolic array size (SxS)");
   flags.add_int("channels", 16, "depthwise channels");
   flags.add_int("hw", 16, "square feature-map size");
+  bench::add_sim_flags(flags);
   flags.parse(argc, argv);
+  bench::apply_sim_flags(flags);
 
   const std::int64_t size = flags.get_int("size");
   const std::int64_t channels = flags.get_int("channels");

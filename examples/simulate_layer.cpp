@@ -4,8 +4,10 @@
 // triangle, on display.
 //
 // Usage: simulate_layer [--channels=8] [--hw=16] [--kernel=3] [--size=16]
+//                       [--sim-backend=fast|reference] [--sim-threads=N]
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/fuseconv.hpp"
 #include "nn/ops.hpp"
 #include "sched/latency.hpp"
@@ -22,7 +24,9 @@ int main(int argc, char** argv) {
   flags.add_int("hw", 16, "square feature-map size");
   flags.add_int("kernel", 3, "1-D kernel taps");
   flags.add_int("size", 16, "systolic array size (SxS)");
+  bench::add_sim_flags(flags);
   flags.parse(argc, argv);
+  bench::apply_sim_flags(flags);
 
   const std::int64_t channels = flags.get_int("channels");
   const std::int64_t hw = flags.get_int("hw");

@@ -7,8 +7,10 @@
 // forward pass, and reports measured end-to-end cycles.
 //
 // Usage: simulate_network [--size=16] [--hw=16] [--channels=8]
+//                         [--sim-backend=fast|reference] [--sim-threads=N]
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/fuseconv.hpp"
 #include "nn/ops.hpp"
 #include "sched/execute.hpp"
@@ -32,7 +34,9 @@ int main(int argc, char** argv) {
   flags.add_int("size", 16, "systolic array size (SxS)");
   flags.add_int("hw", 16, "input feature-map size");
   flags.add_int("channels", 8, "stem channels");
+  bench::add_sim_flags(flags);
   flags.parse(argc, argv);
+  bench::apply_sim_flags(flags);
 
   auto cfg = systolic::square_array(flags.get_int("size"));
   cfg.overlap_fold_drain = false;  // what the PE-grid simulator measures

@@ -1,23 +1,80 @@
-// Cycle-level functional simulator of the systolic array.
+// Cycle-accurate functional simulator of the systolic array.
 //
-// Unlike the closed-form model in cycle_model.hpp, this steps a real grid
-// of PEs cycle by cycle: operands enter skewed at the array edges, move one
-// PE per cycle, each PE performs one MAC per cycle, and outputs are drained
-// down the columns. It therefore produces both the numeric result and the
-// exact cycle count, and the tests assert that
+// Unlike the closed-form model in cycle_model.hpp, this models a real grid
+// of PEs: operands enter skewed at the array edges, move one PE per cycle,
+// each PE performs one MAC per cycle, and outputs are drained down the
+// columns. It therefore produces both the numeric result and the exact
+// cycle count, and the tests assert that
 //   (1) results match the fuse::nn reference operators, and
 //   (2) cycle counts match cycle_model.hpp exactly
 // for both the classic output-stationary dataflow and the paper's proposed
 // row-broadcast dataflow (Fig. 5/7).
+//
+// Two engines implement the model (docs/simulator.md):
+//   * reference — the original per-cycle PE sweep (sim_reference.cpp):
+//     every PE of every fold is stepped every cycle, registers and all.
+//     This is the oracle; it is O((R + C + T) * R * C) per fold.
+//   * fast — the wavefront interval engine (sim_fast.cpp): PE (i, j) is
+//     live exactly while t - i - j is inside the reduction window, so its
+//     accumulator is a straight dot product over its depth-length operand
+//     stream. Operand panels are packed once per fold, the per-PE dot
+//     products vectorize over array columns, and independent fold tiles
+//     run in parallel on a process-wide util::ThreadPool. O(R * C * T)
+//     per fold, no bubble work.
+// Both engines perform the identical floating-point operation sequence
+// per output element, so their results are BIT-EXACT (memcmp on output
+// and pe_busy, equal cycle/fold/MAC counters) for every dataflow, for the
+// broadcast path, and for any thread count. tools/check.sh and
+// tests/test_systolic_sim.cpp enforce this.
+//
+// Backend selection mirrors the kernel backend (nn/kernels.hpp): default
+// fast; FUSE_SIM_BACKEND=reference (or the tools' --sim-backend flag)
+// pins the oracle, FUSE_SIM_THREADS / --sim-threads size the fold pool.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "systolic/config.hpp"
 #include "systolic/mapping.hpp"
 #include "tensor/tensor.hpp"
 
+namespace fuse::util {
+class ThreadPool;
+}
+
 namespace fuse::systolic {
+
+/// Which engine SystolicArraySim's public entry points dispatch to.
+enum class SimBackend {
+  kReference,  // per-cycle PE sweep (the oracle)
+  kFast,       // closed-form wavefront intervals, fold-parallel
+};
+
+/// Current backend. Initialized from FUSE_SIM_BACKEND (default fast).
+SimBackend sim_backend();
+
+/// Overrides the backend for the whole process. Not safe to call while a
+/// simulation is executing on the pool.
+void set_sim_backend(SimBackend backend);
+
+/// Parses "fast" / "reference" (also "ref"). Returns false on anything
+/// else.
+bool parse_sim_backend(const std::string& name, SimBackend* out);
+
+const char* sim_backend_name(SimBackend backend);
+
+/// Total threads the fast engine's fold parallel_for uses (workers + the
+/// calling thread, so 1 means fully serial). Initialized from
+/// FUSE_SIM_THREADS (default: hardware concurrency).
+int sim_threads();
+
+/// Resizes the fold pool to `threads` total threads (>= 1). Results are
+/// bit-exact for every value. Not safe to call mid-simulation.
+void set_sim_threads(int threads);
+
+/// The process-wide pool the fast engine partitions fold tiles over.
+util::ThreadPool& sim_pool();
 
 /// Output and measured cost of one simulated operator.
 struct SimResult {
@@ -27,10 +84,11 @@ struct SimResult {
   std::uint64_t mac_ops = 0;  // MACs with a live operand (not pipeline zeros)
 
   /// Per-PE busy-cycle counts over the whole call, shape [rows, cols] of
-  /// the physical array. sum == mac_ops. Renders the utilization pathology
-  /// directly: a depthwise im2col matmul lights up one column; the
-  /// broadcast dataflow lights up the full grid (cf. paper Fig. 2(c) vs
-  /// Fig. 7).
+  /// the physical array. Accumulated as exact integer counts and
+  /// converted to float once at the end; sum == mac_ops. Renders the
+  /// utilization pathology directly: a depthwise im2col matmul lights up
+  /// one column; the broadcast dataflow lights up the full grid (cf.
+  /// paper Fig. 2(c) vs Fig. 7).
   tensor::Tensor pe_busy;
 };
 
@@ -39,7 +97,9 @@ struct SimResult {
 std::string render_pe_heatmap(const tensor::Tensor& pe_busy);
 
 /// A software model of the PE grid. Stateless between calls; each call
-/// tiles its operands over the array and simulates every fold.
+/// tiles its operands over the array and simulates every fold. The
+/// un-suffixed entry points dispatch on sim_backend(); the *_reference /
+/// *_fast methods pin an engine (tests and bench_sim use them directly).
 class SystolicArraySim {
  public:
   explicit SystolicArraySim(ArrayConfig cfg);
@@ -82,8 +142,24 @@ class SystolicArraySim {
   /// This is the simulator leg of the analytic == simulated == plan-folded
   /// differential property (tests/test_mapping.cpp); the cycle counts
   /// match the analytic model when cfg.overlap_fold_drain is off (the
-  /// simulator always pays each fold's drain).
+  /// simulator always pays each fold's drain). Routes its primitive
+  /// passes through the backend dispatch.
   SimResult run_plan(const MappingPlan& plan);
+
+  // Engine-pinned entry points (bypass the dispatch).
+  SimResult matmul_os_reference(const tensor::Tensor& a,
+                                const tensor::Tensor& b);
+  SimResult matmul_ws_reference(const tensor::Tensor& a,
+                                const tensor::Tensor& b);
+  SimResult matmul_is_reference(const tensor::Tensor& a,
+                                const tensor::Tensor& b);
+  SimResult conv1d_broadcast_reference(const tensor::Tensor& lines,
+                                       const tensor::Tensor& kernels);
+  SimResult matmul_os_fast(const tensor::Tensor& a, const tensor::Tensor& b);
+  SimResult matmul_ws_fast(const tensor::Tensor& a, const tensor::Tensor& b);
+  SimResult matmul_is_fast(const tensor::Tensor& a, const tensor::Tensor& b);
+  SimResult conv1d_broadcast_fast(const tensor::Tensor& lines,
+                                  const tensor::Tensor& kernels);
 
  private:
   ArrayConfig cfg_;

@@ -1,0 +1,84 @@
+// Internals shared by the simulator's two engines (sim_reference.cpp /
+// sim_fast.cpp): exact integer per-PE busy accounting and the common
+// operand validation. Not installed API — include only from sim*.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "systolic/config.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+
+namespace fuse::systolic::detail {
+
+/// Exact per-PE busy-cycle counts for one simulated call. float
+/// accumulation (+= 1.0F per live cycle) silently loses counts past 2^24
+/// on large layers; both engines count in uint64 and convert to the
+/// float tensor once at the end.
+class BusyGrid {
+ public:
+  explicit BusyGrid(const ArrayConfig& cfg)
+      : rows_(cfg.rows),
+        cols_(cfg.cols),
+        counts_(static_cast<std::size_t>(cfg.rows * cfg.cols), 0) {}
+
+  void add(std::int64_t i, std::int64_t j, std::uint64_t n) {
+    counts_[static_cast<std::size_t>(i * cols_ + j)] += n;
+  }
+
+  /// Adds `n` to every PE of the [0, used_rows) x [0, used_cols) tile —
+  /// the per-fold busy pattern of every dataflow (each live PE of a fold
+  /// performs the same number of MACs).
+  void add_tile(std::int64_t used_rows, std::int64_t used_cols,
+                std::uint64_t n) {
+    for (std::int64_t i = 0; i < used_rows; ++i) {
+      for (std::int64_t j = 0; j < used_cols; ++j) {
+        counts_[static_cast<std::size_t>(i * cols_ + j)] += n;
+      }
+    }
+  }
+
+  tensor::Tensor to_tensor() const {
+    tensor::Tensor out(tensor::Shape{rows_, cols_});
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      out[static_cast<std::int64_t>(i)] = static_cast<float>(counts_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Validates rank-2 [M, T] x [T, N] matmul operands; returns nothing,
+/// throws fuse::util::Error with `op` in the message on mismatch.
+inline void check_matmul_operands(const tensor::Tensor& a,
+                                  const tensor::Tensor& b, const char* op) {
+  FUSE_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2)
+      << op << " expects rank-2 operands";
+  FUSE_CHECK(a.shape().dim(1) == b.shape().dim(0))
+      << op << " inner dims differ: " << a.shape().to_string() << " x "
+      << b.shape().to_string();
+}
+
+/// Validates conv1d_broadcast operands: lines [L, W], kernels [L, K],
+/// W >= K, and the array must have the broadcast bus.
+inline void check_conv1d_operands(const tensor::Tensor& lines,
+                                  const tensor::Tensor& kernels,
+                                  const ArrayConfig& cfg) {
+  FUSE_CHECK(cfg.broadcast_links)
+      << "conv1d_broadcast requires an array with row broadcast links";
+  FUSE_CHECK(lines.shape().rank() == 2 && kernels.shape().rank() == 2)
+      << "conv1d_broadcast expects lines [L, W] and kernels [L, K]";
+  FUSE_CHECK(lines.shape().dim(0) == kernels.shape().dim(0))
+      << "line/kernel count mismatch: " << lines.shape().to_string()
+      << " vs " << kernels.shape().to_string();
+  FUSE_CHECK(lines.shape().dim(1) >= kernels.shape().dim(1))
+      << "line shorter than kernel: W=" << lines.shape().dim(1)
+      << " K=" << kernels.shape().dim(1);
+}
+
+}  // namespace fuse::systolic::detail

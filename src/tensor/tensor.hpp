@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tensor/shape.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace fuse::tensor {
@@ -35,6 +36,26 @@ class Tensor {
   /// Flat element access (bounds-checked in debug builds).
   float& operator[](std::int64_t index);
   float operator[](std::int64_t index) const;
+
+  /// Unchecked hot-path accessors: inline, no rank/bounds validation
+  /// beyond a debug assertion. The cycle-accurate simulator's inner
+  /// loops use these — the checked at() overloads below are out-of-line
+  /// calls, which dominates a per-PE-per-cycle loop. Everything else
+  /// should keep using at().
+  float at_unchecked(std::int64_t i, std::int64_t j) const {
+    FUSE_DCHECK(shape_.rank() == 2 && i >= 0 && i < shape_.dim(0) &&
+                j >= 0 && j < shape_.dim(1))
+        << "unchecked index (" << i << ", " << j << ") out of range for "
+        << shape_.to_string();
+    return data_[static_cast<std::size_t>(i * shape_.dim(1) + j)];
+  }
+  float& at_unchecked(std::int64_t i, std::int64_t j) {
+    FUSE_DCHECK(shape_.rank() == 2 && i >= 0 && i < shape_.dim(0) &&
+                j >= 0 && j < shape_.dim(1))
+        << "unchecked index (" << i << ", " << j << ") out of range for "
+        << shape_.to_string();
+    return data_[static_cast<std::size_t>(i * shape_.dim(1) + j)];
+  }
 
   /// Rank-specific accessors; rank is checked in debug builds.
   float& at(std::int64_t i);

@@ -255,6 +255,248 @@ TEST(DataflowComparison, BroadcastBeatsSingleColumnOnSameWork) {
 }  // namespace
 }  // namespace fuse::systolic
 
+// NOTE: appended suite — fast-vs-reference engine bit-exactness (the
+// contract documented in docs/simulator.md). Everything here compares with
+// memcmp, not allclose: the fast engine must reproduce the per-cycle
+// sweep's results to the last bit, for every dataflow, the broadcast path,
+// strided plans, ragged fold shapes, and any thread count.
+#include <cstring>
+#include <tuple>
+
+#include "nn/layer.hpp"
+#include "systolic/mapping.hpp"
+
+namespace fuse::systolic {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+::testing::AssertionResult bits_equal(const Tensor& actual,
+                                      const Tensor& expected) {
+  if (!(actual.shape() == expected.shape())) {
+    return ::testing::AssertionFailure()
+           << "shape " << actual.shape().to_string() << " vs "
+           << expected.shape().to_string();
+  }
+  if (std::memcmp(actual.data(), expected.data(),
+                  static_cast<std::size_t>(actual.num_elements()) *
+                      sizeof(float)) != 0) {
+    return ::testing::AssertionFailure() << "tensor bits differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void expect_bit_exact(const SimResult& fast, const SimResult& reference) {
+  EXPECT_EQ(fast.cycles, reference.cycles);
+  EXPECT_EQ(fast.folds, reference.folds);
+  EXPECT_EQ(fast.mac_ops, reference.mac_ops);
+  EXPECT_TRUE(bits_equal(fast.output, reference.output));
+  EXPECT_TRUE(bits_equal(fast.pe_busy, reference.pe_busy));
+}
+
+/// Restores the process-wide backend/thread state on scope exit so these
+/// tests cannot leak configuration into the rest of the binary.
+struct ScopedSimState {
+  SimBackend backend = sim_backend();
+  int threads = sim_threads();
+  ~ScopedSimState() {
+    set_sim_backend(backend);
+    set_sim_threads(threads);
+  }
+};
+
+Tensor seeded_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+/// Sprinkles exact zeros (and keeps negatives) so the +-0.0 corners of the
+/// bubble analysis in sim_fast.cpp actually get exercised.
+Tensor zero_heavy_tensor(Shape shape, std::uint64_t seed) {
+  Tensor t = seeded_tensor(std::move(shape), seed);
+  for (std::int64_t i = 0; i < t.num_elements(); i += 3) {
+    t[i] = 0.0F;
+  }
+  for (std::int64_t i = 1; i < t.num_elements(); i += 7) {
+    t[i] = -0.0F;
+  }
+  return t;
+}
+
+SimResult run_pinned(SystolicArraySim& sim, Dataflow df, const Tensor& a,
+                     const Tensor& b, bool fast) {
+  switch (df) {
+    case Dataflow::kOutputStationary:
+      return fast ? sim.matmul_os_fast(a, b) : sim.matmul_os_reference(a, b);
+    case Dataflow::kWeightStationary:
+      return fast ? sim.matmul_ws_fast(a, b) : sim.matmul_ws_reference(a, b);
+    case Dataflow::kInputStationary:
+      return fast ? sim.matmul_is_fast(a, b) : sim.matmul_is_reference(a, b);
+  }
+  FUSE_CHECK(false) << "unknown dataflow";
+  return {};
+}
+
+TEST(SimBackendApi, ParseAndName) {
+  SimBackend backend = SimBackend::kReference;
+  EXPECT_TRUE(parse_sim_backend("fast", &backend));
+  EXPECT_EQ(backend, SimBackend::kFast);
+  EXPECT_TRUE(parse_sim_backend("reference", &backend));
+  EXPECT_EQ(backend, SimBackend::kReference);
+  EXPECT_TRUE(parse_sim_backend("ref", &backend));
+  EXPECT_EQ(backend, SimBackend::kReference);
+  EXPECT_FALSE(parse_sim_backend("turbo", &backend));
+  EXPECT_FALSE(parse_sim_backend("", &backend));
+  EXPECT_STREQ(sim_backend_name(SimBackend::kFast), "fast");
+  EXPECT_STREQ(sim_backend_name(SimBackend::kReference), "reference");
+}
+
+TEST(SimBackendApi, DispatchRoutesToSelectedEngine) {
+  ScopedSimState guard;
+  SystolicArraySim sim(square_array(4));
+  const Tensor a = seeded_tensor(Shape{5, 3}, 71);
+  const Tensor b = seeded_tensor(Shape{3, 6}, 72);
+  set_sim_backend(SimBackend::kReference);
+  const SimResult via_reference = sim.matmul(a, b);
+  set_sim_backend(SimBackend::kFast);
+  const SimResult via_fast = sim.matmul(a, b);
+  expect_bit_exact(via_fast, via_reference);
+}
+
+TEST(SimBackendApi, ThreadCountIsValidated) {
+  EXPECT_THROW(set_sim_threads(0), util::Error);
+  EXPECT_THROW(set_sim_threads(-2), util::Error);
+}
+
+// Differential grid: dataflow x ragged fold shapes (array sizes that do
+// NOT divide m/t/n, so edge tiles and multi-fold reduction are hit) on
+// square and rectangular grids.
+struct DiffCase {
+  std::int64_t m, t, n, rows, cols;
+};
+
+class SimBackendDiff
+    : public ::testing::TestWithParam<std::tuple<Dataflow, DiffCase>> {};
+
+TEST_P(SimBackendDiff, FastMatchesReferenceBitExactly) {
+  const auto [df, c] = GetParam();
+  ArrayConfig cfg;
+  cfg.rows = c.rows;
+  cfg.cols = c.cols;
+  cfg.dataflow = df;
+  SystolicArraySim sim(cfg);
+  const Tensor a = seeded_tensor(Shape{c.m, c.t}, 500 + c.m);
+  const Tensor b = seeded_tensor(Shape{c.t, c.n}, 600 + c.n);
+  expect_bit_exact(run_pinned(sim, df, a, b, /*fast=*/true),
+                   run_pinned(sim, df, a, b, /*fast=*/false));
+  const Tensor az = zero_heavy_tensor(Shape{c.m, c.t}, 700 + c.m);
+  const Tensor bz = zero_heavy_tensor(Shape{c.t, c.n}, 800 + c.n);
+  expect_bit_exact(run_pinned(sim, df, az, bz, /*fast=*/true),
+                   run_pinned(sim, df, az, bz, /*fast=*/false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimBackendDiff,
+    ::testing::Combine(
+        ::testing::Values(Dataflow::kOutputStationary,
+                          Dataflow::kWeightStationary,
+                          Dataflow::kInputStationary),
+        ::testing::Values(DiffCase{1, 1, 1, 4, 4},    // degenerate
+                          DiffCase{4, 4, 4, 4, 4},    // exact fit
+                          DiffCase{13, 7, 10, 4, 4},  // ragged folds
+                          DiffCase{5, 17, 3, 4, 4},   // deep reduction
+                          DiffCase{11, 6, 13, 3, 9},  // rectangular
+                          DiffCase{11, 6, 13, 9, 3},  // rectangular, tall
+                          DiffCase{9, 9, 9, 8, 8})));
+
+class SimBackendConvDiff : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(SimBackendConvDiff, FastMatchesReferenceBitExactly) {
+  const DiffCase c = GetParam();  // m=lines, t=width, n=taps
+  ArrayConfig cfg;
+  cfg.rows = c.rows;
+  cfg.cols = c.cols;
+  SystolicArraySim sim(cfg);
+  const Tensor lines = zero_heavy_tensor(Shape{c.m, c.t}, 900 + c.m);
+  const Tensor kernels = zero_heavy_tensor(Shape{c.m, c.n}, 950 + c.n);
+  expect_bit_exact(sim.conv1d_broadcast_fast(lines, kernels),
+                   sim.conv1d_broadcast_reference(lines, kernels));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimBackendConvDiff,
+    ::testing::Values(DiffCase{1, 3, 3, 4, 4},    // single line/output
+                      DiffCase{10, 11, 3, 4, 4},  // ragged folds
+                      DiffCase{16, 12, 5, 8, 8},  // K=5
+                      DiffCase{7, 9, 3, 3, 9},    // rectangular
+                      DiffCase{20, 30, 3, 9, 3}));
+
+// Strided layers exercise the fast path through whole lowered plans (the
+// FuSe dense-compute-then-discard stride handling included). run_plan
+// discards the numeric output, so this compares counters and pe_busy.
+TEST(SimBackendDiffPlans, StridedPlansMatchAcrossBackends) {
+  ScopedSimState guard;
+  const nn::LayerDesc layers[] = {
+      nn::make_fuse_row("fuse_s2", 8, 14, 14, 3, /*stride=*/2, 1),
+      nn::make_fuse_col("fuse_col_s2", 8, 14, 14, 3, /*stride=*/2, 1),
+      nn::make_depthwise("dw_s2", 8, 14, 14, 3, /*stride=*/2, 1),
+      nn::make_conv("conv_s2", 3, 14, 14, 8, 3, /*stride=*/2, 1),
+  };
+  for (const nn::LayerDesc& layer : layers) {
+    for (const bool broadcast : {true, false}) {
+      ArrayConfig cfg = square_array(8, broadcast);
+      SystolicArraySim sim(cfg);
+      const MappingPlan plan = lower(layer, cfg);
+      set_sim_backend(SimBackend::kReference);
+      const SimResult reference = sim.run_plan(plan);
+      set_sim_backend(SimBackend::kFast);
+      const SimResult fast = sim.run_plan(plan);
+      EXPECT_EQ(fast.cycles, reference.cycles) << layer.name;
+      EXPECT_EQ(fast.folds, reference.folds) << layer.name;
+      EXPECT_EQ(fast.mac_ops, reference.mac_ops) << layer.name;
+      EXPECT_TRUE(bits_equal(fast.pe_busy, reference.pe_busy)) << layer.name;
+    }
+  }
+}
+
+// The fold-parallel reduction must be deterministic: any thread count
+// produces the identical bits, and they all equal the reference.
+TEST(SimBackendThreads, ResultsIdenticalAcrossThreadCounts) {
+  ScopedSimState guard;
+  for (const Dataflow df :
+       {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
+        Dataflow::kInputStationary}) {
+    ArrayConfig cfg = square_array(4);
+    cfg.dataflow = df;
+    SystolicArraySim sim(cfg);
+    const Tensor a = zero_heavy_tensor(Shape{13, 9}, 42);
+    const Tensor b = zero_heavy_tensor(Shape{9, 11}, 43);
+    const SimResult reference = run_pinned(sim, df, a, b, /*fast=*/false);
+    for (const int threads : {1, 2, 4}) {
+      set_sim_threads(threads);
+      expect_bit_exact(run_pinned(sim, df, a, b, /*fast=*/true), reference);
+    }
+  }
+}
+
+TEST(SimBackendThreads, Conv1dIdenticalAcrossThreadCounts) {
+  ScopedSimState guard;
+  SystolicArraySim sim(square_array(4));
+  const Tensor lines = zero_heavy_tensor(Shape{10, 19}, 44);
+  const Tensor kernels = zero_heavy_tensor(Shape{10, 3}, 45);
+  const SimResult reference = sim.conv1d_broadcast_reference(lines, kernels);
+  for (const int threads : {1, 2, 4}) {
+    set_sim_threads(threads);
+    expect_bit_exact(sim.conv1d_broadcast_fast(lines, kernels), reference);
+  }
+}
+
+}  // namespace
+}  // namespace fuse::systolic
+
 // NOTE: appended suite — cycle-level WS/IS dataflow simulation.
 namespace fuse::systolic {
 namespace {

@@ -3,8 +3,9 @@
 #   1. default build + complete test suite,
 #   2. ThreadSanitizer build running the concurrency suites
 #      (test_thread_pool, test_sweep_determinism, test_properties,
-#      test_telemetry, test_kernels — the last covers the fast kernel
-#      backend's parallel_for tiling),
+#      test_telemetry, test_kernels, test_systolic_sim — the last two
+#      cover the fast kernel backend's parallel_for tiling and the fast
+#      simulator's fold-parallel execution),
 #   3. AddressSanitizer build running the mapping/executor suites
 #      (test_mapping, test_execute, test_systolic_sim),
 #   4. Release (-O3) build running the kernel differential suite plus a
@@ -17,7 +18,12 @@
 #      be byte-identical between --kernel-backend=fast and
 #      --kernel-backend=reference (the fast kernels are bit-exact, so
 #      every golden in results/ is backend-independent),
-#   7. telemetry export: profile_network's trace/stats JSON must parse.
+#   7. sim backend equality: the simulator-driven examples
+#      (simulate_network, simulate_layer, pe_heatmap) must print
+#      byte-identical stdout under --sim-backend=fast and
+#      --sim-backend=reference, and a bench_sim smoke pass re-verifies the
+#      fast engine's bit-exactness layer by layer,
+#   8. telemetry export: profile_network's trace/stats JSON must parse.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        [release-build-dir]
@@ -38,15 +44,15 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/7] default build + full test suite ==="
+echo "=== [1/8] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/7] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/8] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
-                   test_telemetry test_kernels)
+                   test_telemetry test_kernels test_systolic_sim)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target "${CONCURRENCY_TESTS[@]}"
@@ -56,7 +62,7 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/7] AddressSanitizer build + mapping/executor suites ==="
+echo "=== [3/8] AddressSanitizer build + mapping/executor suites ==="
 ASAN_TESTS=(test_mapping test_execute test_systolic_sim)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -67,7 +73,7 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/7] Release -O3 build: kernel differential suite + bench smoke ==="
+echo "=== [4/8] Release -O3 build: kernel differential suite + bench smoke ==="
 cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
 echo "--- test_kernels (Release) ---"
@@ -77,7 +83,7 @@ echo "--- bench_kernels smoke (Release) ---"
 echo "bench_kernels smoke: ok"
 
 echo
-echo "=== [5/7] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [5/8] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
@@ -99,7 +105,7 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [6/7] backend equality: --kernel-backend=fast vs reference ==="
+echo "=== [6/8] backend equality: --kernel-backend=fast vs reference ==="
 # Every golden-producing bench (all of bench/ except the google-benchmark
 # micro-bench, whose output is wall time). Each runs with --csv where
 # supported, in a per-backend scratch dir; stdout and every CSV written
@@ -146,7 +152,34 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [7/7] telemetry export: profile_network JSON validity ==="
+echo "=== [7/8] sim backend equality: --sim-backend=fast vs reference ==="
+# The simulator-driven examples must print byte-identical stdout under
+# either engine (the fast engine is bit-exact, cycles included). The
+# second fast leg also pins --sim-threads=4: fold-parallel execution may
+# not change a byte either.
+for example in simulate_network simulate_layer pe_heatmap; do
+  bin="$BUILD_DIR/examples/$example"
+  [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
+  "$bin" --sim-backend=reference > "$TELEMETRY_TMP/$example.reference.txt"
+  "$bin" --sim-backend=fast --sim-threads=1 > "$TELEMETRY_TMP/$example.fast.txt"
+  "$bin" --sim-backend=fast --sim-threads=4 > "$TELEMETRY_TMP/$example.fast4.txt"
+  if diff "$TELEMETRY_TMP/$example.reference.txt" \
+          "$TELEMETRY_TMP/$example.fast.txt" &&
+     diff "$TELEMETRY_TMP/$example.reference.txt" \
+          "$TELEMETRY_TMP/$example.fast4.txt"; then
+    echo "$example: sim backends byte-identical"
+  else
+    echo "$example: OUTPUT DIVERGED between sim backends" >&2
+    exit 1
+  fi
+done
+# bench_sim aborts internally if any layer's fast result is not bit-exact
+# against the reference, so a plain run is the layer-by-layer check.
+"$BUILD_DIR/bench/bench_sim" > /dev/null
+echo "bench_sim bit-exactness smoke: ok"
+
+echo
+echo "=== [8/8] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"

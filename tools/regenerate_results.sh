@@ -24,6 +24,9 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   if [ "$name" = bench_kernels ]; then
     # Machine-readable perf rows (op, backend, ns/op, GFLOP/s) ride along.
     "$bench" --json="$RESULTS_DIR/BENCH_kernels.json" | tee "$name.txt"
+  elif [ "$name" = bench_sim ]; then
+    # Simulator engine rows (reference/fast/fast_t4 ms + speedups).
+    "$bench" --json="$RESULTS_DIR/BENCH_sim.json" | tee "$name.txt"
   elif "$bench" --help 2>&1 | grep -q -- '--csv'; then
     "$bench" --csv | tee "$name.txt"
   else
