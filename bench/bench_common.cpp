@@ -21,6 +21,8 @@ void add_kernel_flags(util::CliFlags& flags) {
   flags.add_string("kernel-backend",
                    nn::kernel_backend_name(nn::kernel_backend()),
                    "functional kernel backend: fast or reference");
+  flags.add_string("kernel-isa", nn::kernel_isa_name(nn::kernel_isa()),
+                   "fast-kernel instruction set: scalar, avx2, or auto");
   flags.add_int("kernel-threads", nn::kernel_threads(),
                 "total threads for the fast kernels' tile parallel_for");
 }
@@ -32,6 +34,15 @@ void apply_kernel_flags(const util::CliFlags& flags) {
       << "--kernel-backend must be 'fast' or 'reference', got '" << name
       << "'";
   nn::set_kernel_backend(backend);
+  const std::string isa_name = flags.get_string("kernel-isa");
+  nn::KernelIsa isa;
+  FUSE_CHECK(nn::parse_kernel_isa(isa_name, &isa))
+      << "--kernel-isa must be 'scalar', 'avx2', or 'auto', got '" << isa_name
+      << "'";
+  // An explicitly requested but unavailable ISA is a hard error here
+  // (set_kernel_isa FUSE_CHECKs availability) — unlike the
+  // FUSE_KERNEL_ISA environment fallback, a CLI flag states intent.
+  nn::set_kernel_isa(isa);
   const std::int64_t threads = flags.get_int("kernel-threads");
   FUSE_CHECK(threads >= 1) << "--kernel-threads must be >= 1";
   if (threads != nn::kernel_threads()) {
@@ -115,9 +126,10 @@ void SweepHarness::print_footer() {
   stop();
   // Record engine provenance on the footer line (filtered out of golden
   // comparisons together with the varying wall time).
-  std::printf("\n%s, kernels=%s, sim=%s\n",
+  std::printf("\n%s, kernels=%s/%s, sim=%s\n",
               sched::sweep_stats_line(*engine_, wall_ms_).c_str(),
               nn::kernel_backend_name(nn::kernel_backend()),
+              nn::kernel_isa_name(nn::kernel_isa()),
               systolic::sim_backend_name(systolic::sim_backend()));
   finalize();
 }

@@ -42,9 +42,11 @@ namespace fuse::bench {
 void add_telemetry_flags(util::CliFlags& flags);
 
 /// Registers --kernel-backend (fast|reference, default: current, i.e.
-/// FUSE_KERNEL_BACKEND or fast) and --kernel-threads (total threads for
-/// the fast kernels' parallel_for, default: current). SweepHarness calls
-/// this; standalone tools can reuse the pair.
+/// FUSE_KERNEL_BACKEND or fast), --kernel-isa (scalar|avx2|auto,
+/// default: current, i.e. FUSE_KERNEL_ISA or the best available), and
+/// --kernel-threads (total threads for the fast kernels' parallel_for,
+/// default: current). SweepHarness calls this; standalone tools can
+/// reuse the set.
 void add_kernel_flags(util::CliFlags& flags);
 
 /// Applies the parsed kernel flags to the process-wide backend state.

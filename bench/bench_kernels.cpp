@@ -7,9 +7,11 @@
 // simulator's own cost visible.
 //
 // Besides the usual google-benchmark flags, `--json=<path>` writes a
-// machine-readable row per benchmark: {op, backend, ns_per_op, gflops} —
-// the perf-trajectory artifact results/BENCH_kernels.json is regenerated
-// from (tools/regenerate_results.sh).
+// machine-readable row per benchmark: {op, backend, isa, ns_per_op,
+// gflops} — the perf-trajectory artifact results/BENCH_kernels.json is
+// regenerated from (tools/regenerate_results.sh). The fast_scalar legs
+// pin FUSE_KERNEL_ISA=scalar so the artifact records the scalar-vs-SIMD
+// split on the machine that produced it.
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -44,28 +46,43 @@ Tensor random_tensor(Shape shape, std::uint64_t seed) {
 
 /// Variant label for the ref-vs-fast pairs. fast_t2/fast_t4 size the
 /// kernel pool to 2/4 total threads (the scaling legs); reference and
-/// fast run single-threaded.
+/// fast run single-threaded. fast_scalar pins the portable scalar ISA
+/// so the fast/fast_scalar pair isolates the SIMD micro-kernel speedup
+/// from the blocking/fusion win the scalar fast path already has.
 struct Variant {
   const char* label;
   KernelBackend backend;
   int threads;
+  const char* isa;  // "scalar" or "auto" (resolves to best available)
 };
 
-constexpr Variant kReference{"reference", KernelBackend::kReference, 1};
-constexpr Variant kFast{"fast", KernelBackend::kFast, 1};
-constexpr Variant kFastT2{"fast_t2", KernelBackend::kFast, 2};
-constexpr Variant kFastT4{"fast_t4", KernelBackend::kFast, 4};
+constexpr Variant kReference{"reference", KernelBackend::kReference, 1,
+                             "scalar"};
+constexpr Variant kFast{"fast", KernelBackend::kFast, 1, "auto"};
+constexpr Variant kFastScalar{"fast_scalar", KernelBackend::kFast, 1,
+                              "scalar"};
+constexpr Variant kFastT2{"fast_t2", KernelBackend::kFast, 2, "auto"};
+constexpr Variant kFastT4{"fast_t4", KernelBackend::kFast, 4, "auto"};
 
-/// Pins backend + threads for one benchmark run and restores single-
-/// threaded fast afterwards (the process default).
+/// Pins backend + ISA + threads for one benchmark run and restores
+/// single-threaded fast on the best available ISA afterwards (the
+/// process default).
 struct VariantScope {
   explicit VariantScope(const Variant& v) {
     fuse::nn::set_kernel_backend(v.backend);
+    fuse::nn::set_kernel_isa(parse_isa(v.isa));
     fuse::nn::set_kernel_threads(v.threads);
   }
   ~VariantScope() {
     fuse::nn::set_kernel_backend(KernelBackend::kFast);
+    fuse::nn::set_kernel_isa(parse_isa("auto"));
     fuse::nn::set_kernel_threads(1);
+  }
+
+  static fuse::nn::KernelIsa parse_isa(const char* name) {
+    fuse::nn::KernelIsa isa = fuse::nn::KernelIsa::kScalar;
+    fuse::nn::parse_kernel_isa(name, &isa);
+    return isa;
   }
 };
 
@@ -90,6 +107,7 @@ void BM_Gemm(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_Gemm, reference, kReference);
 BENCHMARK_CAPTURE(BM_Gemm, fast, kFast);
+BENCHMARK_CAPTURE(BM_Gemm, fast_scalar, kFastScalar);
 BENCHMARK_CAPTURE(BM_Gemm, fast_t2, kFastT2);
 BENCHMARK_CAPTURE(BM_Gemm, fast_t4, kFastT4);
 
@@ -115,6 +133,7 @@ void BM_Conv3x3(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_Conv3x3, reference, kReference);
 BENCHMARK_CAPTURE(BM_Conv3x3, fast, kFast);
+BENCHMARK_CAPTURE(BM_Conv3x3, fast_scalar, kFastScalar);
 
 // --- MobileNet-V2 expansion pointwise: [1, 96, 14, 14] -> 576, 1x1.
 void BM_PointwiseConv(benchmark::State& state, Variant v) {
@@ -125,6 +144,7 @@ void BM_PointwiseConv(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_PointwiseConv, reference, kReference);
 BENCHMARK_CAPTURE(BM_PointwiseConv, fast, kFast);
+BENCHMARK_CAPTURE(BM_PointwiseConv, fast_scalar, kFastScalar);
 BENCHMARK_CAPTURE(BM_PointwiseConv, fast_t2, kFastT2);
 
 // --- MobileNet-V2 depthwise: [1, 144, 56, 56], 3x3 pad 1, groups = C.
@@ -137,6 +157,7 @@ void BM_DepthwiseConv3x3(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_DepthwiseConv3x3, reference, kReference);
 BENCHMARK_CAPTURE(BM_DepthwiseConv3x3, fast, kFast);
+BENCHMARK_CAPTURE(BM_DepthwiseConv3x3, fast_scalar, kFastScalar);
 
 // --- FuSe row branch: the same geometry factored to 1x3, groups = C.
 void BM_FuseRow(benchmark::State& state, Variant v) {
@@ -148,6 +169,7 @@ void BM_FuseRow(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_FuseRow, reference, kReference);
 BENCHMARK_CAPTURE(BM_FuseRow, fast, kFast);
+BENCHMARK_CAPTURE(BM_FuseRow, fast_scalar, kFastScalar);
 
 // --- FuSe col branch: 3x1, groups = C.
 void BM_FuseCol(benchmark::State& state, Variant v) {
@@ -159,6 +181,7 @@ void BM_FuseCol(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_FuseCol, reference, kReference);
 BENCHMARK_CAPTURE(BM_FuseCol, fast, kFast);
+BENCHMARK_CAPTURE(BM_FuseCol, fast_scalar, kFastScalar);
 
 // --- Classifier: [8, 1280] x [1000, 1280] linear.
 void BM_Linear(benchmark::State& state, Variant v) {
@@ -173,6 +196,7 @@ void BM_Linear(benchmark::State& state, Variant v) {
 }
 BENCHMARK_CAPTURE(BM_Linear, reference, kReference);
 BENCHMARK_CAPTURE(BM_Linear, fast, kFast);
+BENCHMARK_CAPTURE(BM_Linear, fast_scalar, kFastScalar);
 BENCHMARK_CAPTURE(BM_Linear, fast_t2, kFastT2);
 
 // --- FuSeConv stage forward (both 1-D branches + concat/pointwise as
@@ -298,6 +322,21 @@ std::pair<std::string, std::string> parse_name(const std::string& name) {
   return {op, backend};
 }
 
+/// ISA the variant behind this row ran under: reference and fast_scalar
+/// pin scalar, other fast legs resolve "auto" to the best available ISA
+/// on the producing machine, and the sim benches sit outside the kernel
+/// dispatch entirely.
+std::string isa_for_backend(const std::string& backend) {
+  if (backend == "sim") {
+    return "none";
+  }
+  if (backend == "reference" || backend == "fast_scalar") {
+    return "scalar";
+  }
+  return fuse::nn::kernel_isa_name(
+      VariantScope::parse_isa("auto"));
+}
+
 void write_json(const std::string& path, const std::vector<JsonRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -307,11 +346,12 @@ void write_json(const std::string& path, const std::vector<JsonRow>& rows) {
   std::fprintf(f, "[\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto [op, backend] = parse_name(rows[i].name);
+    const std::string isa = isa_for_backend(backend);
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"op\": \"%s\", \"backend\": \"%s\", "
-                 "\"ns_per_op\": %.1f, \"gflops\": %.3f}%s\n",
+                 "\"isa\": \"%s\", \"ns_per_op\": %.1f, \"gflops\": %.3f}%s\n",
                  rows[i].name.c_str(), op.c_str(), backend.c_str(),
-                 rows[i].ns_per_op, rows[i].gflops,
+                 isa.c_str(), rows[i].ns_per_op, rows[i].gflops,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -4,7 +4,7 @@
 // the deployment datatypes a systolic array actually runs.
 //
 // Usage: int8_inference [--channels=16] [--hw=16] [--variant=half]
-//        [--kernel-backend=fast] [--kernel-threads=N]
+//        [--kernel-backend=fast] [--kernel-isa=auto] [--kernel-threads=N]
 #include <cstdio>
 
 #include "core/fuseconv.hpp"
@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   flags.add_string("variant", "half", "full|half");
   flags.add_string("kernel-backend", nn::kernel_backend_name(nn::kernel_backend()),
                    "functional kernel backend: fast or reference");
+  flags.add_string("kernel-isa", nn::kernel_isa_name(nn::kernel_isa()),
+                   "fast-kernel instruction set: scalar, avx2, or auto");
   flags.add_int("kernel-threads", nn::kernel_threads(),
                 "total threads for the fast kernels");
   flags.parse(argc, argv);
@@ -33,6 +35,10 @@ int main(int argc, char** argv) {
                                       &backend))
       << "--kernel-backend must be 'fast' or 'reference'";
   nn::set_kernel_backend(backend);
+  nn::KernelIsa isa;
+  FUSE_CHECK(nn::parse_kernel_isa(flags.get_string("kernel-isa"), &isa))
+      << "--kernel-isa must be 'scalar', 'avx2', or 'auto'";
+  nn::set_kernel_isa(isa);
   if (flags.get_int("kernel-threads") != nn::kernel_threads()) {
     nn::set_kernel_threads(static_cast<int>(flags.get_int("kernel-threads")));
   }

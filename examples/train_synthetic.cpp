@@ -5,7 +5,7 @@
 //
 // Usage: train_synthetic [--mode=full] [--epochs=8] [--seed=1]
 //        [--train=256] [--eval=128] [--kernel-backend=fast]
-//        [--kernel-threads=N]
+//        [--kernel-isa=auto] [--kernel-threads=N]
 #include <cstdio>
 
 #include "nn/kernels.hpp"
@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   flags.add_int("eval", 128, "eval examples");
   flags.add_string("kernel-backend", nn::kernel_backend_name(nn::kernel_backend()),
                    "functional kernel backend: fast or reference");
+  flags.add_string("kernel-isa", nn::kernel_isa_name(nn::kernel_isa()),
+                   "fast-kernel instruction set: scalar, avx2, or auto");
   flags.add_int("kernel-threads", nn::kernel_threads(),
                 "total threads for the fast kernels");
   flags.parse(argc, argv);
@@ -35,6 +37,10 @@ int main(int argc, char** argv) {
                                       &backend))
       << "--kernel-backend must be 'fast' or 'reference'";
   nn::set_kernel_backend(backend);
+  nn::KernelIsa isa;
+  FUSE_CHECK(nn::parse_kernel_isa(flags.get_string("kernel-isa"), &isa))
+      << "--kernel-isa must be 'scalar', 'avx2', or 'auto'";
+  nn::set_kernel_isa(isa);
   if (flags.get_int("kernel-threads") != nn::kernel_threads()) {
     nn::set_kernel_threads(static_cast<int>(flags.get_int("kernel-threads")));
   }

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "nn/kernels_isa.hpp"
 #include "tensor/im2col.hpp"
 #include "util/check.hpp"
+#include "util/cpu_features.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,6 +65,40 @@ PoolState& pool_state() {
 }
 
 // ---------------------------------------------------------------------------
+// ISA state
+// ---------------------------------------------------------------------------
+
+KernelIsa isa_from_env() {
+  const char* env = std::getenv("FUSE_KERNEL_ISA");
+  if (env == nullptr || env[0] == '\0') {
+    KernelIsa isa;
+    parse_kernel_isa("auto", &isa);
+    return isa;
+  }
+  KernelIsa isa;
+  FUSE_CHECK(parse_kernel_isa(env, &isa))
+      << "FUSE_KERNEL_ISA must be 'scalar', 'avx2', or 'auto', got '" << env
+      << "'";
+  if (!kernel_isa_available(isa)) {
+    // Environment requests degrade gracefully so a forced-ISA test matrix
+    // (FUSE_KERNEL_ISA=avx2 ctest ...) can run unchanged on machines
+    // without the vector unit; explicit set_kernel_isa / CLI requests
+    // stay hard errors.
+    std::fprintf(stderr,
+                 "note: FUSE_KERNEL_ISA=%s is not available on this machine "
+                 "(cpu: %s); using scalar kernels\n",
+                 env, util::cpu_features().to_string().c_str());
+    return KernelIsa::kScalar;
+  }
+  return isa;
+}
+
+std::atomic<KernelIsa>& isa_state() {
+  static std::atomic<KernelIsa> state{isa_from_env()};
+  return state;
+}
+
+// ---------------------------------------------------------------------------
 // Telemetry (docs/observability.md catalog, "kernels.*")
 // ---------------------------------------------------------------------------
 
@@ -75,6 +112,31 @@ util::Counter& pack_bytes_counter() {
     static util::Counter& counter = util::metrics().counter(name);       \
     counter.add();                                                       \
   } while (false)
+
+/// Resolves the ISA an operator will actually run with (`vectorizable`
+/// is false for geometries the AVX2 kernels don't cover) and bumps the
+/// matching kernels.dispatch.{avx2,scalar} counter. The backward passes
+/// are scalar-only by design and don't go through here — see the
+/// dispatch table in docs/kernels.md.
+KernelIsa note_isa(bool vectorizable = true) {
+  KernelIsa isa = kernel_isa();
+  if (!vectorizable) {
+    isa = KernelIsa::kScalar;
+  }
+  if (isa == KernelIsa::kAvx2) {
+    FUSE_KERNEL_COUNTER("kernels.dispatch.avx2");
+  } else {
+    FUSE_KERNEL_COUNTER("kernels.dispatch.scalar");
+  }
+  return isa;
+}
+
+/// The Conv2dParams subset the ISA kernels take (plain ints, no repo
+/// types — see kernels_isa.hpp).
+kernels::ConvGeom to_geom(const Conv2dParams& p) {
+  return {p.stride_h, p.stride_w, p.pad_h,
+          p.pad_w,    p.dilation_h, p.dilation_w};
+}
 
 /// Runs `tiles` independent tasks on the kernel pool and records the
 /// per-task work grain (in elementary work units, e.g. output rows or
@@ -488,6 +550,15 @@ Tensor conv2d_channelwise_fast(const Tensor& input, const Tensor& weight,
       break;
   }
 
+  // The AVX2 channelwise kernels load interior taps contiguously, which
+  // needs unit stride/dilation along x; other geometries run the scalar
+  // kernels under every ISA.
+  const KernelIsa isa = note_isa(p.stride_w == 1 && p.dilation_w == 1);
+  const std::int64_t eff_kw = kind == ChannelwiseKind::kFuseCol ? 1 : kw;
+  const auto [x_lo, x_hi] =
+      interior_x(out_w, in_w, eff_kw, p.stride_w, p.pad_w, p.dilation_w);
+  const kernels::ConvGeom geom = to_geom(p);
+
   Tensor output(Shape{batch, channels, out_h, out_w});
   const float* in_ptr = input.data();
   const float* w_ptr = weight.data();
@@ -504,6 +575,27 @@ Tensor conv2d_channelwise_fast(const Tensor& input, const Tensor& weight,
     const double bias_value =
         bias_ptr != nullptr ? static_cast<double>(bias_ptr[c]) : 0.0;
     float* out = out_ptr + task * out_plane;
+    if (isa == KernelIsa::kAvx2) {
+      const float bias_f = bias_ptr != nullptr ? bias_ptr[c] : 0.0F;
+      switch (kind) {
+        case ChannelwiseKind::kDepthwise:
+          kernels::avx2::depthwise_channel(plane, in_h, in_w, w, kh, kw,
+                                           geom, bias_f, out, out_h, out_w,
+                                           x_lo, x_hi);
+          break;
+        case ChannelwiseKind::kFuseRow:
+          kernels::avx2::fuse_row_channel(plane, in_h, in_w, w, kw, geom,
+                                          bias_f, out, out_h, out_w, x_lo,
+                                          x_hi);
+          break;
+        case ChannelwiseKind::kFuseCol:
+          kernels::avx2::fuse_col_channel(plane, in_h, in_w, w, kh, geom,
+                                          bias_f, out, out_h, out_w, x_lo,
+                                          x_hi);
+          break;
+      }
+      return;
+    }
     switch (kind) {
       case ChannelwiseKind::kDepthwise:
         depthwise_channel(plane, in_h, in_w, w, kh, kw, p, bias_value, out,
@@ -531,6 +623,9 @@ Tensor conv2d_channelwise_fast(const Tensor& input, const Tensor& weight,
 Tensor conv2d_gemm_fast(const Tensor& input, const Tensor& weight,
                         const Tensor* bias, const Conv2dParams& p) {
   FUSE_KERNEL_COUNTER("kernels.fast.conv2d");
+  // im2col linearizes every geometry, so the GEMM path vectorizes
+  // unconditionally.
+  const KernelIsa isa = note_isa();
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t in_c = input.shape().dim(1);
   const std::int64_t in_h = input.shape().dim(2);
@@ -577,9 +672,16 @@ Tensor conv2d_gemm_fast(const Tensor& input, const Tensor& weight,
       // (n, g*group_out + j, p0 + r): column stride = positions.
       float* out_base =
           out_ptr + (n * out_c + g * group_out) * positions + p0;
-      block_gemm_f64(panel.data(), taps, rows, panels, taps, group_out,
-                     group_bias, out_base, /*row_stride=*/1,
-                     /*col_stride=*/positions);
+      if (isa == KernelIsa::kAvx2) {
+        kernels::avx2::block_gemm(panel.data(), taps, rows, panels, taps,
+                                  group_out, group_bias, out_base,
+                                  /*row_stride=*/1,
+                                  /*col_stride=*/positions);
+      } else {
+        block_gemm_f64(panel.data(), taps, rows, panels, taps, group_out,
+                       group_bias, out_base, /*row_stride=*/1,
+                       /*col_stride=*/positions);
+      }
     });
   }
   return output;
@@ -636,6 +738,45 @@ util::ThreadPool& kernel_pool() {
   return *state.pool;
 }
 
+KernelIsa kernel_isa() { return isa_state().load(std::memory_order_relaxed); }
+
+void set_kernel_isa(KernelIsa isa) {
+  FUSE_CHECK(kernel_isa_available(isa))
+      << "kernel ISA '" << kernel_isa_name(isa)
+      << "' is not available on this machine (cpu: "
+      << util::cpu_features().to_string() << ")";
+  isa_state().store(isa, std::memory_order_relaxed);
+}
+
+bool kernel_isa_available(KernelIsa isa) {
+  if (isa == KernelIsa::kScalar) {
+    return true;
+  }
+  const util::CpuFeatures& cpu = util::cpu_features();
+  return kernels::avx2::compiled() && cpu.avx2 && cpu.fma;
+}
+
+bool parse_kernel_isa(const std::string& name, KernelIsa* out) {
+  if (name == "scalar") {
+    *out = KernelIsa::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = KernelIsa::kAvx2;
+    return true;
+  }
+  if (name == "auto") {
+    *out = kernel_isa_available(KernelIsa::kAvx2) ? KernelIsa::kAvx2
+                                                  : KernelIsa::kScalar;
+    return true;
+  }
+  return false;
+}
+
+const char* kernel_isa_name(KernelIsa isa) {
+  return isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
+}
+
 namespace kernels {
 
 // ---------------------------------------------------------------------------
@@ -645,6 +786,7 @@ namespace kernels {
 void gemm_f32(const float* a, const float* b, float* c, std::int64_t m,
               std::int64_t k, std::int64_t n) {
   FUSE_KERNEL_COUNTER("kernels.fast.gemm");
+  const KernelIsa isa = note_isa();
   std::vector<float> b_panels;
   pack_b_panels(b, k, n, n, b_panels);
   const float* panels = b_panels.data();
@@ -653,6 +795,12 @@ void gemm_f32(const float* a, const float* b, float* c, std::int64_t m,
   run_tiles(blocks, kMcGemm, [&](std::int64_t block) {
     const std::int64_t r0 = block * kMcGemm;
     const std::int64_t rows = std::min(kMcGemm, m - r0);
+    if (isa == KernelIsa::kAvx2) {
+      kernels::avx2::block_gemm(a + r0 * k, k, rows, panels, k, n,
+                                /*bias=*/nullptr, c + r0 * n,
+                                /*row_stride=*/n, /*col_stride=*/1);
+      return;
+    }
     for (std::int64_t pn = 0; pn < panel_count; ++pn) {
       const float* bp = panels + pn * k * kNr;
       const std::int64_t j0 = pn * kNr;
@@ -697,6 +845,7 @@ Tensor conv2d_fast(const Tensor& input, const Tensor& weight,
 Tensor linear_fast(const Tensor& input, const Tensor& weight,
                    const Tensor* bias) {
   FUSE_KERNEL_COUNTER("kernels.fast.linear");
+  const KernelIsa isa = note_isa();
   const std::int64_t batch = input.shape().dim(0);
   const std::int64_t in_f = input.shape().dim(1);
   const std::int64_t out_f = weight.shape().dim(0);
@@ -714,6 +863,14 @@ Tensor linear_fast(const Tensor& input, const Tensor& weight,
     const float* bp = panels + pn * in_f * kNr;
     const std::int64_t j0 = pn * kNr;
     const std::int64_t ncols = std::min(kNr, out_f - j0);
+    if (isa == KernelIsa::kAvx2) {
+      // One panel's worth of the GEMM: bias indexed from the panel base.
+      kernels::avx2::block_gemm(
+          in_ptr, in_f, batch, bp, in_f, ncols,
+          bias_ptr != nullptr ? bias_ptr + j0 : nullptr, out_ptr + j0,
+          /*row_stride=*/out_f, /*col_stride=*/1);
+      return;
+    }
     double bias8[kNr] = {};
     if (bias_ptr != nullptr) {
       for (std::int64_t j = 0; j < ncols; ++j) {
@@ -763,6 +920,10 @@ Tensor conv2d_int8_fast(const QuantizedTensor& input,
   float* out_ptr = output.data();
   const auto [x_lo, x_hi] =
       interior_x(out_w, in_w, kw, p.stride_w, p.pad_w, p.dilation_w);
+  // The AVX2 plane kernel loads interior taps contiguously (needs unit
+  // x stride/dilation); int32 accumulation keeps it bit-exact anyway.
+  const KernelIsa isa = note_isa(p.stride_w == 1 && p.dilation_w == 1);
+  const kernels::ConvGeom geom = to_geom(p);
 
   // One task per (image, output channel); int32 sums are order-exact.
   run_tiles(batch * out_c, out_h * out_w, [&](std::int64_t task) {
@@ -772,6 +933,13 @@ Tensor conv2d_int8_fast(const QuantizedTensor& input,
     const std::int8_t* w_oc = w_ptr + oc * group_in * kh * kw;
     float* out_plane = out_ptr + task * out_h * out_w;
     const std::int8_t* image = in_ptr + n * in_c * in_h * in_w;
+    if (isa == KernelIsa::kAvx2) {
+      kernels::avx2::conv2d_int8_plane(
+          image + group * group_in * in_h * in_w, group_in, in_h, in_w,
+          w_oc, kh, kw, geom, zp_in, requant_scale, out_plane, out_h,
+          out_w, x_lo, x_hi);
+      return;
+    }
     for (std::int64_t oy = 0; oy < out_h; ++oy) {
       const std::int64_t iy0 = oy * p.stride_h - p.pad_h;
       for (std::int64_t ox = 0; ox < out_w; ++ox) {
@@ -819,6 +987,7 @@ Tensor conv2d_int8_fast(const QuantizedTensor& input,
 Tensor linear_int8_fast(const QuantizedTensor& input,
                         const QuantizedTensor& weight) {
   FUSE_KERNEL_COUNTER("kernels.fast.linear_int8");
+  const KernelIsa isa = note_isa();
   const std::int64_t batch = input.shape.dim(0);
   const std::int64_t in_f = input.shape.dim(1);
   const std::int64_t out_f = weight.shape.dim(0);
@@ -838,9 +1007,13 @@ Tensor linear_int8_fast(const QuantizedTensor& input,
       for (std::int64_t o = o0; o < o1; ++o) {
         const std::int8_t* w_row = w_ptr + o * in_f;
         std::int32_t acc = 0;
-        for (std::int64_t i = 0; i < in_f; ++i) {
-          acc += (static_cast<std::int32_t>(row[i]) - zp_in) *
-                 static_cast<std::int32_t>(w_row[i]);
+        if (isa == KernelIsa::kAvx2) {
+          acc = kernels::avx2::linear_int8_dot(row, w_row, in_f, zp_in);
+        } else {
+          for (std::int64_t i = 0; i < in_f; ++i) {
+            acc += (static_cast<std::int32_t>(row[i]) - zp_in) *
+                   static_cast<std::int32_t>(w_row[i]);
+          }
         }
         out_ptr[n * out_f + o] = requant_scale * static_cast<float>(acc);
       }

@@ -13,15 +13,22 @@
 // Determinism contract (docs/kernels.md):
 //   * Every output element is owned by exactly one parallel task and its
 //     k-accumulation runs in a fixed order, so results are BIT-EXACT
-//     across thread counts (and across runs).
-//   * Each fast kernel reproduces the reference operator's accumulation
-//     type and order exactly — double accumulators seeded with the bias
-//     for conv2d/linear, in-order float accumulation for matmul, int32
-//     for the INT8 kernels — so fast outputs are bit-exact with the
-//     reference backend too (0 ULP; the only theoretical exception is
-//     the sign of an exact-zero output, which IEEE-754 +/-0 addition
-//     identities make unobservable in practice). tools/check.sh leans on
-//     this: golden results must be byte-identical under both backends.
+//     across thread counts (and across runs) at a fixed ISA.
+//   * Under the SCALAR ISA each fast kernel reproduces the reference
+//     operator's accumulation type and order exactly — double
+//     accumulators seeded with the bias for conv2d/linear, in-order
+//     float accumulation for matmul, int32 for the INT8 kernels — so
+//     scalar fast outputs are bit-exact with the reference backend
+//     (0 ULP; the only theoretical exception is the sign of an
+//     exact-zero output, which IEEE-754 +/-0 addition identities make
+//     unobservable in practice). tools/check.sh leans on this: golden
+//     results must be byte-identical across backends with
+//     FUSE_KERNEL_ISA=scalar pinned.
+//   * Under the AVX2 ISA the float kernels accumulate in single
+//     precision with FMA, so outputs are ULP-BOUNDED against the
+//     reference (util/ulp.hpp derives the bound; docs/kernels.md
+//     documents it). The INT8 kernels accumulate in int32 — exact in
+//     any order — and stay bit-identical under every ISA.
 //
 // Backend selection: nn::conv2d / matmul / linear / the INT8 kernels and
 // the train::Module backward passes all dispatch on kernel_backend().
@@ -29,6 +36,18 @@
 // --kernel-backend flag) to pin the reference oracle. FUSE_KERNEL_THREADS
 // / --kernel-threads size the kernel pool (N threads = N-1 workers plus
 // the calling thread, mirroring the sweep engine's convention).
+//
+// ISA selection: inside the fast backend, kernel_isa() picks between the
+// portable scalar kernels and the AVX2/FMA micro-kernels
+// (kernels_avx2.cpp). Default is the best ISA the CPU supports (CPUID
+// probe in util/cpu_features.hpp); FUSE_KERNEL_ISA=scalar|avx2|auto (or
+// the benches' --kernel-isa flag) overrides it for differential testing.
+// Requesting an unavailable ISA via the environment falls back to scalar
+// with a note on stderr (so a forced-ISA CI matrix passes on any
+// machine); requesting it via set_kernel_isa / an explicit CLI flag is an
+// error. The backward passes and a few geometries (stride_w != 1 or
+// dilation_w != 1 channelwise / int8 conv interiors) always run the
+// scalar kernels — see the dispatch table in docs/kernels.md.
 #pragma once
 
 #include <cstdint>
@@ -74,6 +93,33 @@ void set_kernel_threads(int threads);
 
 /// The process-wide pool the fast kernels partition tiles over.
 util::ThreadPool& kernel_pool();
+
+/// Which instruction set the fast backend's inner kernels use.
+enum class KernelIsa {
+  kScalar,  // portable C++ (bit-exact with the reference oracles)
+  kAvx2,    // AVX2/FMA micro-kernels (ULP-bounded floats, exact int8)
+};
+
+/// Current ISA. Initialized from FUSE_KERNEL_ISA (default: best
+/// available per the CPUID probe; an unavailable env request falls back
+/// to scalar with a note on stderr).
+KernelIsa kernel_isa();
+
+/// Overrides the ISA for the whole process. FUSE_CHECK-fails if `isa` is
+/// not available on this machine (see kernel_isa_available). Not safe to
+/// call while kernels are executing on the pool.
+void set_kernel_isa(KernelIsa isa);
+
+/// True when `isa` can execute here: kScalar always; kAvx2 when the
+/// binary contains the AVX2 kernels (x86 build) AND the CPU + OS report
+/// AVX2, FMA, and OS-enabled YMM state.
+bool kernel_isa_available(KernelIsa isa);
+
+/// Parses "scalar" / "avx2" / "auto" ("auto" resolves to the best
+/// available ISA at parse time). Returns false on anything else.
+bool parse_kernel_isa(const std::string& name, KernelIsa* out);
+
+const char* kernel_isa_name(KernelIsa isa);
 
 namespace kernels {
 

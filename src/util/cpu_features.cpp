@@ -1,0 +1,89 @@
+#include "util/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <immintrin.h>
+#define FUSE_CPU_X86 1
+#else
+#define FUSE_CPU_X86 0
+#endif
+
+namespace fuse::util {
+
+namespace {
+
+#if FUSE_CPU_X86
+
+/// XCR0 via XGETBV. Only call when CPUID reports OSXSAVE, otherwise the
+/// instruction faults.
+std::uint64_t xcr0() {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures probe() {
+  CpuFeatures f;
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return f;
+  }
+  f.sse2 = (edx & (1U << 26)) != 0;
+  const bool osxsave = (ecx & (1U << 27)) != 0;
+  const bool cpu_avx = (ecx & (1U << 28)) != 0;
+  const bool cpu_fma = (ecx & (1U << 12)) != 0;
+  // YMM state (XCR0 bits 1|2) must be OS-enabled before any AVX flag is
+  // usable; ZMM additionally needs opmask + upper-half state (bits 5-7).
+  const std::uint64_t x = osxsave ? xcr0() : 0;
+  const bool os_ymm = (x & 0x6) == 0x6;
+  const bool os_zmm = os_ymm && (x & 0xE0) == 0xE0;
+  f.avx = cpu_avx && os_ymm;
+  f.fma = cpu_fma && os_ymm;
+  unsigned eax7 = 0;
+  unsigned ebx7 = 0;
+  unsigned ecx7 = 0;
+  unsigned edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0) {
+    f.avx2 = f.avx && (ebx7 & (1U << 5)) != 0;
+    f.avx512f = os_zmm && (ebx7 & (1U << 16)) != 0;
+  }
+  return f;
+}
+
+#else  // !FUSE_CPU_X86
+
+CpuFeatures probe() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+std::string CpuFeatures::to_string() const {
+  std::string out;
+  const auto append = [&out](bool set, const char* name) {
+    if (!set) {
+      return;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += name;
+  };
+  append(sse2, "sse2");
+  append(avx, "avx");
+  append(fma, "fma");
+  append(avx2, "avx2");
+  append(avx512f, "avx512f");
+  return out.empty() ? "none" : out;
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace fuse::util

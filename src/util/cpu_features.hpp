@@ -1,0 +1,34 @@
+// Runtime CPU capability probe for the SIMD kernel dispatch.
+//
+// cpu_features() runs CPUID once (thread-safe, cached) and reports which
+// vector ISAs the *combination* of CPU and OS supports: a feature is only
+// reported when the hardware has it AND the OS saves the corresponding
+// register state across context switches (checked via OSXSAVE + XGETBV,
+// the same dance every runtime dispatcher does — reporting raw CPUID bits
+// would crash on kernels that don't save YMM state).
+//
+// On non-x86 targets every flag is false and the kernel dispatch falls
+// back to the portable scalar path; nothing here is a hard dependency.
+#pragma once
+
+#include <string>
+
+namespace fuse::util {
+
+/// OS-usable vector capabilities of the executing CPU.
+struct CpuFeatures {
+  bool sse2 = false;     // baseline on x86-64; false on other arches
+  bool avx = false;      // 8-wide float, requires OS YMM state support
+  bool fma = false;      // fused multiply-add (FMA3)
+  bool avx2 = false;     // 8-wide integer + gathers
+  bool avx512f = false;  // reported for telemetry; no kernel uses it yet
+
+  /// Space-separated list of the set flags ("sse2 avx fma avx2"), or
+  /// "none" — for logs and --help output.
+  std::string to_string() const;
+};
+
+/// The probe result, computed once per process.
+const CpuFeatures& cpu_features();
+
+}  // namespace fuse::util

@@ -1,0 +1,63 @@
+#include "util/ulp.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace fuse::util {
+
+namespace {
+
+/// Maps float bits onto a monotone integer line: 0x80000000 (the -0
+/// pattern) and 0x00000000 both land on 0, negatives below, positives
+/// above, adjacent floats 1 apart everywhere (denormals included).
+std::int64_t ordered_key(float f) {
+  std::int32_t bits;
+  static_assert(sizeof(bits) == sizeof(f));
+  std::memcpy(&bits, &f, sizeof(bits));
+  if (bits >= 0) {
+    return bits;
+  }
+  // Negative floats have the sign bit set and magnitude bits ascending
+  // away from zero; flip them below the origin.
+  return static_cast<std::int64_t>(INT32_MIN) - bits;
+}
+
+}  // namespace
+
+std::int64_t ulp_distance(float a, float b) {
+  std::int32_t a_bits;
+  std::int32_t b_bits;
+  std::memcpy(&a_bits, &a, sizeof(a_bits));
+  std::memcpy(&b_bits, &b, sizeof(b_bits));
+  if (a_bits == b_bits) {
+    return 0;
+  }
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const std::int64_t d = ordered_key(a) - ordered_key(b);
+  return d < 0 ? -d : d;
+}
+
+bool ulp_within(float a, float b, const UlpTolerance& tol) {
+  if (ulp_distance(a, b) <= tol.max_ulps) {
+    return true;
+  }
+  if (std::isnan(a) || std::isnan(b)) {
+    return false;
+  }
+  return std::fabs(static_cast<double>(a) - static_cast<double>(b)) <=
+         tol.abs_tol;
+}
+
+UlpTolerance kernel_float_tolerance(std::int64_t k, double magnitude) {
+  // Derivation in the header; k <= 0 degenerates to bit-exact.
+  if (k <= 0) {
+    return UlpTolerance{};
+  }
+  return UlpTolerance{8 * k + 16,
+                      4.0 * static_cast<double>(k) * 0x1p-24 * magnitude};
+}
+
+}  // namespace fuse::util

@@ -1,0 +1,59 @@
+// Bounded-ULP float comparison for the SIMD kernel differential tests.
+//
+// The scalar kernel ISA reproduces the reference oracles bit-for-bit, but
+// the AVX2/FMA micro-kernels accumulate in float with fused products, so
+// their outputs differ from the double-accumulated references by a small,
+// boundable amount. This header is the one place that bound lives; the
+// derivation (mirrored in docs/kernels.md) is:
+//
+//   A length-k float dot product evaluated in ANY fixed order — scalar,
+//   8-lane vector partial sums, with or without FMA — has forward error
+//     |fl(s) - s| <= gamma_k * S,   gamma_k = k*u / (1 - k*u),  u = 2^-24,
+//   where S = sum_i |a_i * b_i| (Higham, Accuracy and Stability of
+//   Numerical Algorithms, ch. 3-4; FMA only *removes* rounding steps).
+//   The reference computes s in double and rounds once, so
+//     |fast - ref| <= gamma_k * S + ulp(ref)      (double-acc reference)
+//     |fast - ref| <= 2 * gamma_k * S             (float-acc reference)
+//   Dividing by ulp(ref) ~ |ref| * u gives, with cond = S / |s|:
+//     ulp_distance <= 2 * k * cond + 1.
+//
+//   Outputs with small condition number (cond <= 4) therefore land within
+//   8k+1 ULPs — the relative branch. Outputs with heavy cancellation have
+//   unbounded cond but still obey the ABSOLUTE bound 2*gamma_k*S, so the
+//   comparison also passes when |a - b| <= 4*k*u*M for a caller-supplied
+//   magnitude M >= S. Every element obeying the theory bound passes one
+//   of the two branches; a kernel indexing bug (error ~ one whole
+//   product) exceeds both by orders of magnitude.
+#pragma once
+
+#include <cstdint>
+
+namespace fuse::util {
+
+/// Distance between two floats in units in the last place, measured in
+/// the monotone integer bit-space (so it is exact across exponent
+/// boundaries and through zero: distance(-x, x) = 2 * distance(0, x)).
+/// +0 and -0 are 0 apart; if either value is NaN the distance is
+/// INT64_MAX unless the two are bit-identical.
+std::int64_t ulp_distance(float a, float b);
+
+/// The two-branch tolerance: values compare equal when their ULP distance
+/// is within max_ulps (relative branch) OR their absolute difference is
+/// within abs_tol (cancellation branch). {0, 0.0} means bit-exact.
+struct UlpTolerance {
+  std::int64_t max_ulps = 0;
+  double abs_tol = 0.0;
+};
+
+/// True when a and b are within `tol` (see above). NaNs compare equal
+/// only when bit-identical.
+bool ulp_within(float a, float b, const UlpTolerance& tol);
+
+/// The documented kernel tolerance for a reduction of length k whose
+/// absolute-product sum S is bounded by `magnitude`:
+///   max_ulps = 8*k + 16          (cond <= 4, 2x slack on 2*k*cond + 1)
+///   abs_tol  = 4*k*2^-24 * magnitude   (2x slack on 2*gamma_k*S)
+/// Callers bound magnitude as k * max|a| * max|b| (+ |bias|).
+UlpTolerance kernel_float_tolerance(std::int64_t k, double magnitude);
+
+}  // namespace fuse::util

@@ -1,13 +1,22 @@
-// Differential tests for the fast kernel backend (nn/kernels.hpp): the
-// fast kernels must be BIT-EXACT with the reference operators across a
-// grid of geometries (stride/pad/dilation/groups x every operator kind),
-// bit-exact across thread counts, and produce an identical training
-// trajectory. "Bit-exact" is tested literally — memcmp over the output
-// buffers — which is the documented ULP bound (0) of docs/kernels.md.
+// Differential tests for the fast kernel backend (nn/kernels.hpp).
+//
+// The contract is ISA-dependent (docs/kernels.md):
+//   * scalar ISA — BIT-EXACT with the reference operators across a grid
+//     of geometries (memcmp over the output buffers), bit-exact across
+//     thread counts, identical training trajectory.
+//   * avx2 ISA — float outputs ULP-BOUNDED against the reference (the
+//     derived tolerance in util/ulp.hpp), int8 outputs and backward
+//     passes still bit-exact, and bit-exact across thread counts at the
+//     fixed ISA.
+// The forced-ISA grid below runs every operator under each ISA the
+// machine supports; on hardware without AVX2 the avx2 leg is skipped
+// with a logged note (never a failure), so the suite passes everywhere.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/activations.hpp"
@@ -18,8 +27,11 @@
 #include "train/loss.hpp"
 #include "train/module.hpp"
 #include "train/optimizer.hpp"
+#include "util/check.hpp"
+#include "util/cpu_features.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
+#include "util/ulp.hpp"
 
 namespace fuse::nn {
 namespace {
@@ -36,15 +48,37 @@ Tensor random_tensor(Shape shape, std::uint64_t seed, float lo = -1.0F,
   return t;
 }
 
-/// Restores backend + thread-count state on scope exit so tests compose.
+/// Restores backend + ISA + thread-count state on scope exit so tests
+/// compose.
 struct BackendGuard {
   KernelBackend saved_backend = kernel_backend();
+  KernelIsa saved_isa = kernel_isa();
   int saved_threads = kernel_threads();
   ~BackendGuard() {
     set_kernel_backend(saved_backend);
+    set_kernel_isa(saved_isa);
     set_kernel_threads(saved_threads);
   }
 };
+
+/// The ISAs this machine can execute. When AVX2 is unavailable the grid
+/// degrades to scalar-only with a note — a skip, not a failure.
+std::vector<KernelIsa> available_isas() {
+  std::vector<KernelIsa> isas{KernelIsa::kScalar};
+  if (kernel_isa_available(KernelIsa::kAvx2)) {
+    isas.push_back(KernelIsa::kAvx2);
+  } else {
+    static bool logged = false;
+    if (!logged) {
+      logged = true;
+      std::printf(
+          "note: avx2 kernels unavailable on this machine (cpu: %s); "
+          "forced-ISA coverage runs scalar only\n",
+          util::cpu_features().to_string().c_str());
+    }
+  }
+  return isas;
+}
 
 bool bit_equal(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape() &&
@@ -53,12 +87,41 @@ bool bit_equal(const Tensor& a, const Tensor& b) {
                          sizeof(float)) == 0;
 }
 
+/// ISA-aware comparison: scalar must be bit-exact; avx2 must land within
+/// the documented tolerance for a length-k reduction of magnitude-bounded
+/// operands. Reports the worst element on failure.
+void expect_isa_close(const Tensor& ref, const Tensor& got, KernelIsa isa,
+                      std::int64_t k, double magnitude,
+                      const std::string& label) {
+  ASSERT_EQ(ref.shape(), got.shape()) << label;
+  if (isa == KernelIsa::kScalar) {
+    EXPECT_TRUE(bit_equal(ref, got)) << label << " (scalar is bit-exact)";
+    return;
+  }
+  const util::UlpTolerance tol = util::kernel_float_tolerance(k, magnitude);
+  for (std::int64_t i = 0; i < ref.num_elements(); ++i) {
+    if (!util::ulp_within(ref[i], got[i], tol)) {
+      ADD_FAILURE() << label << " element " << i << ": ref=" << ref[i]
+                    << " got=" << got[i]
+                    << " ulp=" << util::ulp_distance(ref[i], got[i])
+                    << " (max_ulps=" << tol.max_ulps
+                    << ", abs_tol=" << tol.abs_tol << ", k=" << k << ")";
+      return;
+    }
+  }
+}
+
 /// One conv geometry of the differential grid.
 struct ConvCase {
   const char* name;
   std::int64_t batch, in_c, out_c, h, w, kh, kw;
   Conv2dParams params;
 };
+
+/// Reduction length of one output element (taps + the bias add).
+std::int64_t conv_k(const ConvCase& c) {
+  return (c.in_c / c.params.groups) * c.kh * c.kw + 1;
+}
 
 std::vector<ConvCase> conv_grid() {
   std::vector<ConvCase> cases;
@@ -102,9 +165,68 @@ std::vector<ConvCase> conv_grid() {
   return cases;
 }
 
+/// Tail / edge shapes: channel counts and widths that are NOT multiples
+/// of the 8-lane vector width (1, 3, 7, 9, 17), kernel-sized inputs
+/// (single-position outputs), and stride-2 odd geometries — the shapes
+/// where a lane-count bug in the vector kernels would hide.
+std::vector<ConvCase> tail_grid() {
+  std::vector<ConvCase> cases;
+  // Output widths straddling the vector width (interior narrower than,
+  // equal to, and just past one vector).
+  cases.push_back({"tail_dw_w1", 1, 3, 3, 5, 1, 3, 3, {1, 1, 1, 1, 1, 1, 3}});
+  cases.push_back({"tail_dw_w3", 1, 7, 7, 6, 3, 3, 3, {1, 1, 1, 1, 1, 1, 7}});
+  cases.push_back({"tail_dw_w7", 1, 9, 9, 7, 7, 3, 3, {1, 1, 1, 1, 1, 1, 9}});
+  cases.push_back({"tail_dw_w9", 1, 17, 17, 5, 9, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 17}});
+  cases.push_back({"tail_dw_w17", 2, 1, 1, 4, 17, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 1}});
+  cases.push_back({"tail_fuse_row_w9", 1, 3, 3, 4, 9, 1, 5,
+                   {1, 1, 0, 2, 1, 1, 3}});
+  cases.push_back({"tail_fuse_row_w17", 1, 7, 7, 3, 17, 1, 3,
+                   {1, 1, 0, 1, 1, 1, 7}});
+  cases.push_back({"tail_fuse_col_w7", 1, 3, 3, 9, 7, 5, 1,
+                   {1, 1, 2, 0, 1, 1, 3}});
+  cases.push_back({"tail_fuse_col_w9", 1, 9, 9, 7, 9, 3, 1,
+                   {1, 1, 1, 0, 1, 1, 9}});
+  // Kernel-sized inputs: the whole output is one position (pure edge).
+  cases.push_back({"tail_kernel_sized_dense", 1, 2, 3, 3, 3, 3, 3,
+                   {1, 1, 0, 0, 1, 1, 1}});
+  cases.push_back({"tail_kernel_sized_dw", 1, 4, 4, 5, 5, 5, 5,
+                   {1, 1, 0, 0, 1, 1, 4}});
+  // Stride-2 over odd extents (interior bounds land mid-vector; the
+  // channelwise kernels fall back to scalar here — that fallback is
+  // exactly what this exercises).
+  cases.push_back({"tail_s2_odd_dense", 1, 3, 5, 7, 9, 3, 3,
+                   {2, 2, 1, 1, 1, 1, 1}});
+  cases.push_back({"tail_s2_odd_dw", 1, 7, 7, 9, 7, 3, 3,
+                   {2, 2, 1, 1, 1, 1, 7}});
+  // Output-channel tails for the GEMM path (panels of width < 8, == 8+1).
+  cases.push_back({"tail_out_c1", 1, 3, 1, 6, 10, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 1}});
+  cases.push_back({"tail_out_c7", 1, 3, 7, 6, 10, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 1}});
+  cases.push_back({"tail_out_c9", 1, 4, 9, 6, 11, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 1}});
+  cases.push_back({"tail_out_c17", 1, 4, 17, 5, 11, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 1}});
+  return cases;
+}
+
+std::vector<ConvCase> all_conv_cases() {
+  std::vector<ConvCase> cases = conv_grid();
+  const std::vector<ConvCase> tails = tail_grid();
+  cases.insert(cases.end(), tails.begin(), tails.end());
+  return cases;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-ISA bit-exactness (the original fast-vs-reference contract)
+// ---------------------------------------------------------------------------
+
 TEST(KernelsDifferential, ConvGridBitExact) {
   BackendGuard guard;
-  for (const ConvCase& c : conv_grid()) {
+  set_kernel_isa(KernelIsa::kScalar);
+  for (const ConvCase& c : all_conv_cases()) {
     const Tensor input =
         random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 11);
     const Tensor weight = random_tensor(
@@ -128,6 +250,8 @@ TEST(KernelsDifferential, ConvGridBitExact) {
 }
 
 TEST(KernelsDifferential, MatmulBitExact) {
+  BackendGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
   for (const auto& [m, k, n] :
        std::vector<std::tuple<int, int, int>>{{1, 1, 1},
                                               {3, 5, 7},
@@ -145,6 +269,8 @@ TEST(KernelsDifferential, MatmulBitExact) {
 TEST(KernelsDifferential, MatmulWithZeroRowsBitExact) {
   // matmul_reference skips a_ik == 0 entries (im2col padding rows); the
   // fast kernel multiplies them. IEEE +-0 addition makes both identical.
+  BackendGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
   Tensor a = random_tensor(Shape{9, 12}, 23);
   for (std::int64_t i = 0; i < a.num_elements(); i += 3) {
     a[i] = 0.0F;
@@ -154,6 +280,8 @@ TEST(KernelsDifferential, MatmulWithZeroRowsBitExact) {
 }
 
 TEST(KernelsDifferential, LinearBitExact) {
+  BackendGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
   for (const auto& [batch, in_f, out_f] :
        std::vector<std::tuple<int, int, int>>{
            {1, 1, 1}, {1, 9, 5}, {3, 17, 31}, {8, 1280, 1000}}) {
@@ -169,8 +297,97 @@ TEST(KernelsDifferential, LinearBitExact) {
   }
 }
 
-TEST(KernelsDifferential, Int8OperatorsExact) {
-  for (const ConvCase& c : conv_grid()) {
+// ---------------------------------------------------------------------------
+// Forced-ISA differential grid (every op x every available ISA)
+// ---------------------------------------------------------------------------
+
+TEST(KernelsForcedIsa, ConvGridDifferential) {
+  BackendGuard guard;
+  for (const ConvCase& c : all_conv_cases()) {
+    const Tensor input =
+        random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 111);
+    const Tensor weight = random_tensor(
+        Shape{c.out_c, c.in_c / c.params.groups, c.kh, c.kw}, 112);
+    const Tensor bias = random_tensor(Shape{c.out_c}, 113);
+    // The reference oracle is ISA-independent; compute it once per case.
+    const Tensor ref = conv2d_reference(input, weight, &bias, c.params);
+    const Tensor ref_nb = conv2d_reference(input, weight, nullptr, c.params);
+    const std::int64_t k = conv_k(c);
+    // Operands are uniform in [-1, 1], so the absolute-product sum is at
+    // most taps + |bias| <= k.
+    const double magnitude = static_cast<double>(k);
+    for (KernelIsa isa : available_isas()) {
+      set_kernel_isa(isa);
+      const std::string label =
+          std::string(c.name) + " [" + kernel_isa_name(isa) + "]";
+      expect_isa_close(ref,
+                       kernels::conv2d_fast(input, weight, &bias, c.params),
+                       isa, k, magnitude, label);
+      expect_isa_close(
+          ref_nb, kernels::conv2d_fast(input, weight, nullptr, c.params),
+          isa, k, magnitude, label + " (no bias)");
+    }
+  }
+}
+
+TEST(KernelsForcedIsa, MatmulDifferential) {
+  BackendGuard guard;
+  for (const auto& [m, k, n] :
+       std::vector<std::tuple<int, int, int>>{{1, 1, 1},
+                                              {1, 7, 9},
+                                              {3, 17, 7},
+                                              {5, 3, 1},
+                                              {9, 9, 17},
+                                              {17, 33, 9},
+                                              {64, 48, 96}}) {
+    const Tensor a = random_tensor(Shape{m, k}, 121);
+    const Tensor b = random_tensor(Shape{k, n}, 122);
+    const Tensor ref = matmul_reference(a, b);
+    for (KernelIsa isa : available_isas()) {
+      set_kernel_isa(isa);
+      expect_isa_close(ref, kernels::matmul_fast(a, b), isa, k,
+                       static_cast<double>(k),
+                       std::string("matmul ") + std::to_string(m) + "x" +
+                           std::to_string(k) + "x" + std::to_string(n) +
+                           " [" + kernel_isa_name(isa) + "]");
+    }
+  }
+}
+
+TEST(KernelsForcedIsa, LinearDifferential) {
+  BackendGuard guard;
+  for (const auto& [batch, in_f, out_f] :
+       std::vector<std::tuple<int, int, int>>{{1, 1, 1},
+                                              {2, 7, 9},
+                                              {3, 17, 33},
+                                              {9, 40, 17},
+                                              {8, 256, 100}}) {
+    const Tensor input = random_tensor(Shape{batch, in_f}, 131);
+    const Tensor weight = random_tensor(Shape{out_f, in_f}, 132);
+    const Tensor bias = random_tensor(Shape{out_f}, 133);
+    const Tensor ref = linear_reference(input, weight, &bias);
+    const Tensor ref_nb = linear_reference(input, weight, nullptr);
+    const std::int64_t k = in_f + 1;
+    for (KernelIsa isa : available_isas()) {
+      set_kernel_isa(isa);
+      const std::string label = std::string("linear ") +
+                                std::to_string(batch) + "x" +
+                                std::to_string(in_f) + "x" +
+                                std::to_string(out_f) + " [" +
+                                kernel_isa_name(isa) + "]";
+      expect_isa_close(ref, kernels::linear_fast(input, weight, &bias), isa,
+                       k, static_cast<double>(k), label);
+      expect_isa_close(ref_nb, kernels::linear_fast(input, weight, nullptr),
+                       isa, k, static_cast<double>(k), label + " (no bias)");
+    }
+  }
+}
+
+TEST(KernelsForcedIsa, Int8OperatorsBitExactUnderEveryIsa) {
+  // int32 accumulation is order-insensitive: the int8 kernels must stay
+  // bit-identical to the reference under EVERY ISA, vectorized or not.
+  BackendGuard guard;
+  for (const ConvCase& c : all_conv_cases()) {
     const Tensor input =
         random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 41, -2.0F, 3.0F);
     const Tensor weight = random_tensor(
@@ -178,20 +395,131 @@ TEST(KernelsDifferential, Int8OperatorsExact) {
     const QuantizedTensor q_in = tensor::quantize_calibrated(input);
     const QuantizedTensor q_w =
         tensor::quantize_calibrated(weight, /*symmetric=*/true);
-    EXPECT_TRUE(bit_equal(conv2d_int8_reference(q_in, q_w, c.params),
-                          kernels::conv2d_int8_fast(q_in, q_w, c.params)))
-        << c.name;
+    const Tensor ref = conv2d_int8_reference(q_in, q_w, c.params);
+    for (KernelIsa isa : available_isas()) {
+      set_kernel_isa(isa);
+      EXPECT_TRUE(bit_equal(ref, kernels::conv2d_int8_fast(q_in, q_w,
+                                                           c.params)))
+          << c.name << " [" << kernel_isa_name(isa) << "]";
+    }
   }
-  const Tensor input = random_tensor(Shape{3, 40}, 43, -2.0F, 2.0F);
-  const Tensor weight = random_tensor(Shape{50, 40}, 44);
-  const QuantizedTensor q_in = tensor::quantize_calibrated(input);
-  const QuantizedTensor q_w =
-      tensor::quantize_calibrated(weight, /*symmetric=*/true);
-  EXPECT_TRUE(bit_equal(linear_int8_reference(q_in, q_w),
-                        kernels::linear_int8_fast(q_in, q_w)));
+  // Linear int8, including in_f tails around the 16-byte vector step.
+  for (const auto& [batch, in_f, out_f] :
+       std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {2, 7, 9}, {2, 15, 5}, {2, 16, 5}, {2, 17, 5},
+           {3, 40, 50}}) {
+    const Tensor input =
+        random_tensor(Shape{batch, in_f}, 43, -2.0F, 2.0F);
+    const Tensor weight = random_tensor(Shape{out_f, in_f}, 44);
+    const QuantizedTensor q_in = tensor::quantize_calibrated(input);
+    const QuantizedTensor q_w =
+        tensor::quantize_calibrated(weight, /*symmetric=*/true);
+    const Tensor ref = linear_int8_reference(q_in, q_w);
+    for (KernelIsa isa : available_isas()) {
+      set_kernel_isa(isa);
+      EXPECT_TRUE(bit_equal(ref, kernels::linear_int8_fast(q_in, q_w)))
+          << batch << "x" << in_f << "x" << out_f << " ["
+          << kernel_isa_name(isa) << "]";
+    }
+  }
 }
 
+TEST(KernelsForcedIsa, BackwardIsaIndependent) {
+  // The backward passes are scalar-only by design: forcing the ISA must
+  // not change a single gradient bit.
+  BackendGuard guard;
+  const ConvCase c{"backward_probe", 2, 4, 6, 9, 11, 3, 3,
+                   {1, 1, 1, 1, 1, 1, 1}};
+  const Tensor input = random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 141);
+  const Tensor grad_seed = random_tensor(Shape{c.out_c}, 142);
+  std::vector<Tensor> grads_per_isa;
+  for (KernelIsa isa : available_isas()) {
+    set_kernel_isa(isa);
+    util::Rng rng(143);
+    train::Conv2d layer("k", c.in_c, c.out_c, c.kh, c.kw, c.params, rng);
+    const Tensor out = layer.forward(input);
+    Tensor grad_out(out.shape());
+    for (std::int64_t i = 0; i < grad_out.num_elements(); ++i) {
+      grad_out[i] = grad_seed[i % grad_seed.num_elements()];
+    }
+    Tensor gi = layer.backward(grad_out);
+    std::vector<train::Parameter*> params;
+    layer.collect_params(params);
+    grads_per_isa.push_back(std::move(gi));
+    for (train::Parameter* p : params) {
+      grads_per_isa.push_back(p->grad);
+    }
+  }
+  const std::size_t per_isa = grads_per_isa.size() / available_isas().size();
+  for (std::size_t i = per_isa; i < grads_per_isa.size(); ++i) {
+    EXPECT_TRUE(bit_equal(grads_per_isa[i % per_isa], grads_per_isa[i]))
+        << "gradient " << i % per_isa << " differs across ISAs";
+  }
+}
+
+TEST(KernelsForcedIsa, ThreadDeterminismPerIsa) {
+  // At a FIXED ISA, results are bit-exact across thread counts — the
+  // task decomposition never changes an element's accumulation order.
+  BackendGuard guard;
+  const Tensor input = random_tensor(Shape{2, 16, 23, 19}, 151);
+  const Tensor weight = random_tensor(Shape{24, 16, 3, 3}, 152);
+  const Tensor bias = random_tensor(Shape{24}, 153);
+  const Conv2dParams params{1, 1, 1, 1, 1, 1, 1};
+  const Tensor a = random_tensor(Shape{150, 70}, 154);
+  const Tensor b = random_tensor(Shape{70, 90}, 155);
+  const Tensor lin_in = random_tensor(Shape{5, 200}, 156);
+  const Tensor lin_w = random_tensor(Shape{130, 200}, 157);
+  const Tensor dw_w = random_tensor(Shape{16, 1, 3, 3}, 158);
+  const Conv2dParams dw_params{1, 1, 1, 1, 1, 1, 16};
+  const Tensor row_w = random_tensor(Shape{16, 1, 1, 5}, 159);
+  const Conv2dParams row_params{1, 1, 0, 2, 1, 1, 16};
+  const Tensor col_w = random_tensor(Shape{16, 1, 5, 1}, 160);
+  const Conv2dParams col_params{1, 1, 2, 0, 1, 1, 16};
+
+  for (KernelIsa isa : available_isas()) {
+    set_kernel_isa(isa);
+    set_kernel_threads(1);
+    const Tensor conv1 = kernels::conv2d_fast(input, weight, &bias, params);
+    const Tensor mm1 = kernels::matmul_fast(a, b);
+    const Tensor lin1 = kernels::linear_fast(lin_in, lin_w, nullptr);
+    const Tensor dw1 = kernels::conv2d_fast(input, dw_w, nullptr, dw_params);
+    const Tensor row1 =
+        kernels::conv2d_fast(input, row_w, nullptr, row_params);
+    const Tensor col1 =
+        kernels::conv2d_fast(input, col_w, nullptr, col_params);
+    for (int threads : {2, 4}) {
+      set_kernel_threads(threads);
+      const std::string label = std::string(kernel_isa_name(isa)) + ", " +
+                                std::to_string(threads) + " threads";
+      EXPECT_TRUE(bit_equal(
+          conv1, kernels::conv2d_fast(input, weight, &bias, params)))
+          << label << " (conv)";
+      EXPECT_TRUE(bit_equal(mm1, kernels::matmul_fast(a, b)))
+          << label << " (matmul)";
+      EXPECT_TRUE(
+          bit_equal(lin1, kernels::linear_fast(lin_in, lin_w, nullptr)))
+          << label << " (linear)";
+      EXPECT_TRUE(bit_equal(
+          dw1, kernels::conv2d_fast(input, dw_w, nullptr, dw_params)))
+          << label << " (depthwise)";
+      EXPECT_TRUE(bit_equal(
+          row1, kernels::conv2d_fast(input, row_w, nullptr, row_params)))
+          << label << " (fuse_row)";
+      EXPECT_TRUE(bit_equal(
+          col1, kernels::conv2d_fast(input, col_w, nullptr, col_params)))
+          << label << " (fuse_col)";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Original int8 / backward / determinism / training-parity suites
+// (pinned to the scalar ISA, where the bit-exact contract holds)
+// ---------------------------------------------------------------------------
+
 TEST(KernelsDifferential, BackwardBitExact) {
+  BackendGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
   for (const ConvCase& c : conv_grid()) {
     const Tensor input =
         random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 51);
@@ -206,7 +534,6 @@ TEST(KernelsDifferential, BackwardBitExact) {
 
     // Reference gradients (the loops in train/module.cpp, restated
     // through the reference backend of the module itself).
-    BackendGuard guard;
     util::Rng rng(54);
     train::Conv2d ref_layer("k", c.in_c, c.out_c, c.kh, c.kw, c.params, rng);
     util::Rng rng2(54);
@@ -234,6 +561,7 @@ TEST(KernelsDifferential, BackwardBitExact) {
 
 TEST(KernelsDeterminism, BitExactAcrossThreadCounts) {
   BackendGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
   const Tensor input = random_tensor(Shape{2, 16, 23, 19}, 61);
   const Tensor weight = random_tensor(Shape{24, 16, 3, 3}, 62);
   const Tensor bias = random_tensor(Shape{24}, 63);
@@ -271,6 +599,7 @@ std::pair<std::vector<double>, std::vector<Tensor>> train_steps(
     KernelBackend backend) {
   BackendGuard guard;
   set_kernel_backend(backend);
+  set_kernel_isa(KernelIsa::kScalar);
   util::Rng rng(71);
   train::Sequential model;
   model.add(std::make_unique<train::Conv2d>(
@@ -319,6 +648,10 @@ TEST(KernelsTrainParity, LossTrajectoryIdentical) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Selection plumbing (backend + ISA parse / name / availability)
+// ---------------------------------------------------------------------------
+
 TEST(KernelsBackend, ParseAndName) {
   KernelBackend backend = KernelBackend::kReference;
   EXPECT_TRUE(parse_kernel_backend("fast", &backend));
@@ -330,6 +663,47 @@ TEST(KernelsBackend, ParseAndName) {
   EXPECT_FALSE(parse_kernel_backend("warp-speed", &backend));
   EXPECT_STREQ(kernel_backend_name(KernelBackend::kFast), "fast");
   EXPECT_STREQ(kernel_backend_name(KernelBackend::kReference), "reference");
+}
+
+TEST(KernelsIsa, ParseAndName) {
+  KernelIsa isa = KernelIsa::kAvx2;
+  EXPECT_TRUE(parse_kernel_isa("scalar", &isa));
+  EXPECT_EQ(isa, KernelIsa::kScalar);
+  EXPECT_TRUE(parse_kernel_isa("avx2", &isa));
+  EXPECT_EQ(isa, KernelIsa::kAvx2);
+  EXPECT_FALSE(parse_kernel_isa("avx512", &isa));
+  EXPECT_FALSE(parse_kernel_isa("", &isa));
+  EXPECT_STREQ(kernel_isa_name(KernelIsa::kScalar), "scalar");
+  EXPECT_STREQ(kernel_isa_name(KernelIsa::kAvx2), "avx2");
+}
+
+TEST(KernelsIsa, AutoResolvesToBestAvailable) {
+  KernelIsa isa = KernelIsa::kScalar;
+  ASSERT_TRUE(parse_kernel_isa("auto", &isa));
+  EXPECT_TRUE(kernel_isa_available(isa));
+  if (kernel_isa_available(KernelIsa::kAvx2)) {
+    EXPECT_EQ(isa, KernelIsa::kAvx2);
+  } else {
+    EXPECT_EQ(isa, KernelIsa::kScalar);
+  }
+}
+
+TEST(KernelsIsa, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(kernel_isa_available(KernelIsa::kScalar));
+  BackendGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
+  EXPECT_EQ(kernel_isa(), KernelIsa::kScalar);
+}
+
+TEST(KernelsIsa, SettingUnavailableIsaThrows) {
+  if (kernel_isa_available(KernelIsa::kAvx2)) {
+    // On AVX2 machines the explicit set must succeed instead.
+    BackendGuard guard;
+    set_kernel_isa(KernelIsa::kAvx2);
+    EXPECT_EQ(kernel_isa(), KernelIsa::kAvx2);
+    return;
+  }
+  EXPECT_THROW(set_kernel_isa(KernelIsa::kAvx2), util::Error);
 }
 
 TEST(KernelsTelemetry, DispatchCountersAdvance) {

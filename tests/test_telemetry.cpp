@@ -12,10 +12,13 @@
 #include <vector>
 
 #include "nets/zoo.hpp"
+#include "nn/kernels.hpp"
+#include "nn/ops.hpp"
 #include "sched/latency.hpp"
 #include "systolic/config.hpp"
 #include "systolic/mapping.hpp"
 #include "systolic/trace.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace_sink.hpp"
@@ -377,6 +380,55 @@ TEST(Telemetry, SchedCountersMatchMappingPlanGolden) {
             plan_est.mac_ops);
   EXPECT_EQ(reg.counter("sched.pe_cycles_total").value() - total0,
             plan_est.cycles * static_cast<std::uint64_t>(cfg.pe_count()));
+}
+
+// The fast kernels must leave an exact telemetry trail: the ISA dispatch
+// counters pin to the FORCED ISA (never the other one), every dispatch
+// observes the work grain, and packing accounts its bytes exactly. A
+// 4x4 matmul packs one kNr=8 panel of k=4 floats: 4 * 8 * 4 = 128 bytes.
+TEST(Telemetry, KernelCountersPinnedToForcedIsa) {
+  if (!util::telemetry_enabled()) GTEST_SKIP() << "FUSE_TELEMETRY off";
+  const nn::KernelBackend saved_backend = nn::kernel_backend();
+  const nn::KernelIsa saved_isa = nn::kernel_isa();
+  nn::set_kernel_backend(nn::KernelBackend::kFast);
+
+  util::Rng rng(7);
+  tensor::Tensor a(tensor::Shape{4, 4});
+  tensor::Tensor b(tensor::Shape{4, 4});
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  b.fill_uniform(rng, -1.0F, 1.0F);
+
+  util::MetricsRegistry& reg = util::metrics();
+  util::Counter& avx2_count = reg.counter("kernels.dispatch.avx2");
+  util::Counter& scalar_count = reg.counter("kernels.dispatch.scalar");
+  util::Counter& pack_bytes = reg.counter("kernels.pack_bytes");
+  util::Histogram& grain = reg.histogram("kernels.grain");
+  constexpr std::uint64_t kPanelBytes = 4 * 8 * sizeof(float);  // 128
+
+  const auto run_leg = [&](nn::KernelIsa isa) {
+    nn::set_kernel_isa(isa);
+    const std::uint64_t avx2_0 = avx2_count.value();
+    const std::uint64_t scalar_0 = scalar_count.value();
+    const std::uint64_t pack_0 = pack_bytes.value();
+    const std::uint64_t grain_0 = grain.count();
+    (void)nn::matmul(a, b);
+    const bool is_avx2 = isa == nn::KernelIsa::kAvx2;
+    EXPECT_EQ(avx2_count.value() - avx2_0, is_avx2 ? 1u : 0u)
+        << nn::kernel_isa_name(isa);
+    EXPECT_EQ(scalar_count.value() - scalar_0, is_avx2 ? 0u : 1u)
+        << nn::kernel_isa_name(isa);
+    EXPECT_EQ(pack_bytes.value() - pack_0, kPanelBytes)
+        << nn::kernel_isa_name(isa);
+    EXPECT_EQ(grain.count() - grain_0, 1u) << nn::kernel_isa_name(isa);
+  };
+
+  run_leg(nn::KernelIsa::kScalar);
+  if (nn::kernel_isa_available(nn::KernelIsa::kAvx2)) {
+    run_leg(nn::KernelIsa::kAvx2);
+  }
+
+  nn::set_kernel_isa(saved_isa);
+  nn::set_kernel_backend(saved_backend);
 }
 
 TEST(Strings, FormatBytesUsesBinaryUnits) {

@@ -9,21 +9,29 @@
 #   3. AddressSanitizer build running the mapping/executor suites
 #      (test_mapping, test_execute, test_systolic_sim),
 #   4. Release (-O3) build running the kernel differential suite plus a
-#      bench_kernels smoke pass — the fast backend's bit-exactness must
+#      bench_kernels smoke pass — the kernel exactness contract must
 #      survive full optimization, not just the default build,
-#   5. bench determinism: every bench binary's output must be
+#   5. forced-ISA matrix: the kernel differential suite (test_kernels +
+#      test_cpu_features) must pass under FUSE_KERNEL_ISA=scalar and
+#      =auto, and a bench_table1 smoke must produce CSVs that agree
+#      within float tolerance between --kernel-isa=scalar and =auto (on
+#      non-AVX2 machines both legs run scalar and the diff is trivially
+#      exact),
+#   6. bench determinism: every bench binary's output must be
 #      byte-identical between --threads=1 --no-cache and --threads=8
 #      (only footer lines — see filter_bench_output — may differ),
-#   6. backend equality: every table/figure bench's stdout and CSVs must
+#   7. backend equality: every table/figure bench's stdout and CSVs must
 #      be byte-identical between --kernel-backend=fast and
-#      --kernel-backend=reference (the fast kernels are bit-exact, so
-#      every golden in results/ is backend-independent),
-#   7. sim backend equality: the simulator-driven examples
+#      --kernel-backend=reference. Both legs pin FUSE_KERNEL_ISA=scalar:
+#      only the scalar ISA is bit-exact against the reference kernels
+#      (the SIMD ISAs are ULP-bounded, covered by stage 5), so this
+#      byte-level diff needs the scalar pin to stay meaningful,
+#   8. sim backend equality: the simulator-driven examples
 #      (simulate_network, simulate_layer, pe_heatmap) must print
 #      byte-identical stdout under --sim-backend=fast and
 #      --sim-backend=reference, and a bench_sim smoke pass re-verifies the
 #      fast engine's bit-exactness layer by layer,
-#   8. telemetry export: profile_network's trace/stats JSON must parse.
+#   9. telemetry export: profile_network's trace/stats JSON must parse.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        [release-build-dir]
@@ -44,13 +52,13 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/8] default build + full test suite ==="
+echo "=== [1/9] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/8] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/9] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
                    test_telemetry test_kernels test_systolic_sim)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
@@ -62,7 +70,7 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/8] AddressSanitizer build + mapping/executor suites ==="
+echo "=== [3/9] AddressSanitizer build + mapping/executor suites ==="
 ASAN_TESTS=(test_mapping test_execute test_systolic_sim)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -73,7 +81,7 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/8] Release -O3 build: kernel differential suite + bench smoke ==="
+echo "=== [4/9] Release -O3 build: kernel differential suite + bench smoke ==="
 cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
 echo "--- test_kernels (Release) ---"
@@ -83,9 +91,61 @@ echo "--- bench_kernels smoke (Release) ---"
 echo "bench_kernels smoke: ok"
 
 echo
-echo "=== [5/8] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [5/9] forced-ISA matrix: differential suite + bench CSV tolerance ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
+# The differential suite under each forced ISA. Under =scalar the float
+# kernels must be bit-exact against the reference; under =auto the best
+# available SIMD tier runs with ULP-bounded floats and bit-exact int8.
+# On non-AVX2 machines =auto resolves to scalar and the suite logs a
+# "forced-ISA coverage runs scalar only" note instead of failing.
+for isa in scalar auto; do
+  for t in test_kernels test_cpu_features; do
+    echo "--- $t (FUSE_KERNEL_ISA=$isa) ---"
+    FUSE_KERNEL_ISA="$isa" "$BUILD_DIR/tests/$t"
+  done
+done
+# A golden-producing bench must agree between the scalar and SIMD ISAs
+# within float print precision: the simulator cycle counts are integers
+# and the derived ratios are printed rounded, so the CSVs normally match
+# exactly — the python diff allows 1e-4 relative slack on numeric fields
+# so a last-digit rounding flip is not a failure.
+for isa in scalar auto; do
+  dir="$TELEMETRY_TMP/isa.$isa"
+  mkdir -p "$dir"
+  (cd "$dir" && "$REPO_ROOT/$BUILD_DIR/bench/bench_table1" \
+     --kernel-isa="$isa" --csv | filter_bench_output > stdout.txt)
+done
+python3 - "$TELEMETRY_TMP/isa.scalar" "$TELEMETRY_TMP/isa.auto" <<'EOF'
+import os, sys
+a_dir, b_dir = sys.argv[1], sys.argv[2]
+names = sorted(os.listdir(a_dir))
+assert names == sorted(os.listdir(b_dir)), "ISA legs wrote different files"
+def close(a, b):
+    if a == b:
+        return True
+    try:
+        fa, fb = float(a), float(b)
+    except ValueError:
+        return False
+    return abs(fa - fb) <= 1e-4 * max(1.0, abs(fa), abs(fb))
+for name in names:
+    with open(os.path.join(a_dir, name)) as f:
+        a_lines = f.read().splitlines()
+    with open(os.path.join(b_dir, name)) as f:
+        b_lines = f.read().splitlines()
+    assert len(a_lines) == len(b_lines), f"{name}: line counts differ"
+    for i, (la, lb) in enumerate(zip(a_lines, b_lines)):
+        fields_a = la.replace(",", " ").split()
+        fields_b = lb.replace(",", " ").split()
+        ok = len(fields_a) == len(fields_b) and all(
+            close(x, y) for x, y in zip(fields_a, fields_b))
+        assert ok, f"{name}:{i + 1}: ISA legs disagree:\n  {la}\n  {lb}"
+print(f"{len(names)} files agree between --kernel-isa=scalar and =auto")
+EOF
+
+echo
+echo "=== [6/9] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
@@ -105,7 +165,7 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [6/8] backend equality: --kernel-backend=fast vs reference ==="
+echo "=== [7/9] backend equality: --kernel-backend=fast vs reference ==="
 # Every golden-producing bench (all of bench/ except the google-benchmark
 # micro-bench, whose output is wall time). Each runs with --csv where
 # supported, in a per-backend scratch dir; stdout and every CSV written
@@ -130,16 +190,18 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
   if [ "$bench" = bench_accuracy_synth ]; then
     extra+=(--seeds=1 --epochs=2 --train=64 --eval=32)
   fi
+  # Pin the scalar ISA on both legs: only scalar is bit-exact against
+  # the reference kernels, which is what makes a byte-level diff valid.
   for backend in fast reference; do
     dir="$TELEMETRY_TMP/$bench.$backend"
     mkdir -p "$dir"
     if [ "$bench" = bench_ria_analysis ]; then
       # The one bench with no CLI flags: backend comes from the env.
-      (cd "$dir" && FUSE_KERNEL_BACKEND="$backend" "$bin" \
-         | filter_bench_output > stdout.txt)
+      (cd "$dir" && FUSE_KERNEL_BACKEND="$backend" FUSE_KERNEL_ISA=scalar \
+         "$bin" | filter_bench_output > stdout.txt)
     else
-      (cd "$dir" && "$bin" --kernel-backend="$backend" "${extra[@]}" \
-         | filter_bench_output > stdout.txt)
+      (cd "$dir" && "$bin" --kernel-backend="$backend" --kernel-isa=scalar \
+         "${extra[@]}" | filter_bench_output > stdout.txt)
     fi
   done
   if diff -r "$TELEMETRY_TMP/$bench.fast" "$TELEMETRY_TMP/$bench.reference"
@@ -152,7 +214,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [7/8] sim backend equality: --sim-backend=fast vs reference ==="
+echo "=== [8/9] sim backend equality: --sim-backend=fast vs reference ==="
 # The simulator-driven examples must print byte-identical stdout under
 # either engine (the fast engine is bit-exact, cycles included). The
 # second fast leg also pins --sim-threads=4: fold-parallel execution may
@@ -179,7 +241,7 @@ done
 echo "bench_sim bit-exactness smoke: ok"
 
 echo
-echo "=== [8/8] telemetry export: profile_network JSON validity ==="
+echo "=== [9/9] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"

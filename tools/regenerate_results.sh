@@ -22,7 +22,10 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   echo "=== $name ==="
   # bench_kernels (google-benchmark) and bench_ria_analysis take no --csv.
   if [ "$name" = bench_kernels ]; then
-    # Machine-readable perf rows (op, backend, ns/op, GFLOP/s) ride along.
+    # Machine-readable perf rows (op, backend, isa, ns/op, GFLOP/s) ride
+    # along. The suite's fast_scalar legs pin --kernel-isa=scalar, so
+    # the artifact records the scalar-vs-SIMD split of every operator on
+    # the producing machine next to the reference-vs-fast split.
     "$bench" --json="$RESULTS_DIR/BENCH_kernels.json" | tee "$name.txt"
   elif [ "$name" = bench_sim ]; then
     # Simulator engine rows (reference/fast/fast_t4 ms + speedups).
