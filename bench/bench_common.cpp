@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "nn/kernels.hpp"
+#include "sched/netplan.hpp"
 #include "systolic/sim.hpp"
 #include "util/check.hpp"
 #include "util/telemetry.hpp"
@@ -71,11 +72,27 @@ void apply_sim_flags(const util::CliFlags& flags) {
   }
 }
 
+void add_sched_flags(util::CliFlags& flags) {
+  flags.add_string("sched-mode", sched::sched_mode_name(sched::sched_mode()),
+                   "network schedule: per-layer or fused");
+}
+
+void apply_sched_flags(const util::CliFlags& flags) {
+  const std::string name = flags.get_string("sched-mode");
+  sched::SchedMode mode;
+  // A bad FUSE_SCHED_MODE env value soft-falls-back to per-layer, but the
+  // CLI flag states intent: reject typos hard.
+  FUSE_CHECK(sched::parse_sched_mode(name, &mode))
+      << "--sched-mode must be 'per-layer' or 'fused', got '" << name << "'";
+  sched::set_sched_mode(mode);
+}
+
 SweepHarness::SweepHarness(util::CliFlags& flags) {
   sched::add_sweep_flags(flags);
   add_telemetry_flags(flags);
   add_kernel_flags(flags);
   add_sim_flags(flags);
+  add_sched_flags(flags);
 }
 
 SweepHarness::~SweepHarness() { finalize(); }
@@ -84,6 +101,7 @@ sched::SweepEngine& SweepHarness::engine(const util::CliFlags& flags) {
   FUSE_CHECK(!engine_) << "SweepHarness::engine called twice";
   apply_kernel_flags(flags);
   apply_sim_flags(flags);
+  apply_sched_flags(flags);
   trace_path_ = flags.get_string("trace-json");
   stats_path_ = flags.get_string("stats-json");
   if (!trace_path_.empty() && util::telemetry_enabled()) {
@@ -126,11 +144,12 @@ void SweepHarness::print_footer() {
   stop();
   // Record engine provenance on the footer line (filtered out of golden
   // comparisons together with the varying wall time).
-  std::printf("\n%s, kernels=%s/%s, sim=%s\n",
+  std::printf("\n%s, kernels=%s/%s, sim=%s, sched=%s\n",
               sched::sweep_stats_line(*engine_, wall_ms_).c_str(),
               nn::kernel_backend_name(nn::kernel_backend()),
               nn::kernel_isa_name(nn::kernel_isa()),
-              systolic::sim_backend_name(systolic::sim_backend()));
+              systolic::sim_backend_name(systolic::sim_backend()),
+              sched::sched_mode_name(sched::sched_mode()));
   finalize();
 }
 

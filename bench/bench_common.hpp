@@ -61,6 +61,16 @@ void add_sim_flags(util::CliFlags& flags);
 /// Applies the parsed sim flags to the process-wide simulator state.
 void apply_sim_flags(const util::CliFlags& flags);
 
+/// Registers --sched-mode (per-layer|fused, default: current, i.e.
+/// FUSE_SCHED_MODE or per-layer). Controls whether network_roofline /
+/// network_latency use the per-layer schedule or the fused NetworkPlan
+/// (sched/netplan.hpp). SweepHarness calls this; standalone tools can
+/// reuse the pair.
+void add_sched_flags(util::CliFlags& flags);
+
+/// Applies the parsed sched flags to the process-wide schedule mode.
+void apply_sched_flags(const util::CliFlags& flags);
+
 class SweepHarness {
  public:
   /// Registers --threads/--no-cache plus the telemetry flags on `flags`.

@@ -39,8 +39,10 @@ int main(int argc, char** argv) {
   flags.add_string("variant", "full", "replacement variant: full|half");
   flags.add_bool("csv", false, "also write bench_fig8b.csv");
   bench::add_kernel_flags(flags);
+  bench::add_sched_flags(flags);
   flags.parse(argc, argv);
   bench::apply_kernel_flags(flags);
+  bench::apply_sched_flags(flags);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
   const nets::NetworkId id = parse_net(flags.get_string("net"));

@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   util::CliFlags flags;
   flags.add_bool("csv", false, "also write bench_overhead.csv");
   bench::add_kernel_flags(flags);
+  bench::add_sched_flags(flags);
   flags.parse(argc, argv);
   bench::apply_kernel_flags(flags);
+  bench::apply_sched_flags(flags);
 
   const hw::PeComponentModel model = hw::nangate45_model();
   std::printf(

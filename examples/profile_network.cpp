@@ -10,17 +10,29 @@
 // program checks that identity, and that the summed per-layer PE
 // occupancy matches the MappingPlan-derived utilization, before writing.
 //
+// With --sched-mode=fused the trace shows the fused NetworkPlan instead:
+// one span per ScheduleSegment (fused groups alternate producer/consumer
+// stripes on the layer track), DRAM prefetch spans on a "loads" track
+// overlapping the PREVIOUS segment's compute (the double-buffering the
+// fused schedule models), and an SRAM-occupancy counter stepping through
+// each segment's planned residency. The end timestamp is FUSE_CHECKed
+// against the fused schedule's analytic total exactly as the per-layer
+// path checks network_latency.
+//
 // Usage: profile_network [--net=v2] [--variant=fuse_full] [--size=64]
 //        [--trace-json=profile.json] [--stats-json=] [--fold-events=true]
+//        [--sched-mode=per-layer]
 //   --net      v1|v2|v3s|v3l|mnas|resnet50 (mobilenet_v2-style long
 //              names accepted)
 //   --variant  baseline|fuse_full|fuse_half|fuse_full50|fuse_half50
 //              (short forms full|half|full50|half50 accepted)
 //   --fold-events=false drops the per-fold spans + SRAM counters (layer
 //              spans only) for small files on fold-heavy baselines.
+#include <algorithm>
 #include <cstdio>
 
 #include "sched/latency.hpp"
+#include "sched/netplan.hpp"
 #include "systolic/mapping.hpp"
 #include "systolic/trace.hpp"
 #include "util/check.hpp"
@@ -76,6 +88,73 @@ core::NetworkVariant parse_variant(const std::string& name) {
   return core::NetworkVariant::kBaseline;
 }
 
+// DRAM prefetch spans land on their own track below the SRAM counters.
+constexpr int kLoadTrack = 3;
+
+/// Exports the fused NetworkPlan: one span per schedule segment, prefetch
+/// spans overlapping the previous segment's compute, and the planned SRAM
+/// residency as a counter series. Returns the trace's end timestamp.
+std::uint64_t export_fused_schedule(util::TraceSink& sink,
+                                    const sched::NetworkPlan& plan,
+                                    const nets::NetworkModel& model,
+                                    bool fold_events) {
+  std::uint64_t end = 0;
+  for (const sched::ScheduleSegment& seg : plan.segments) {
+    const nn::LayerDesc& layer = model.layers[seg.layer_index];
+    const sched::FusedPair* pair = plan.pair_of(seg.layer_index);
+    sink.complete_event(
+        layer.name, seg.fused ? "fused-segment" : "segment",
+        seg.start_cycle, seg.duration(), systolic::kLayerTrack,
+        {util::trace_str("kind", nn::op_kind_name(layer.kind)),
+         util::trace_num("folds", seg.folds),
+         util::trace_num("fused",
+                         static_cast<std::uint64_t>(seg.fused ? 1 : 0)),
+         util::trace_num("sram_bytes", seg.sram_bytes)});
+    if (fold_events) {
+      sink.counter_event("sram_planned", seg.start_cycle,
+                         systolic::kSramTrack,
+                         {{"resident+staging", seg.sram_bytes}});
+      // Operand bytes this segment streams from DRAM (weights always; the
+      // input too unless it is a fused consumer reading SRAM), spread over
+      // the layer's segments by fold share. The prefetch overlaps the
+      // previous segment's compute — that overlap IS the double-buffering
+      // the roofline max() models.
+      const systolic::TrafficEstimate& traffic =
+          plan.layer_traffic[seg.layer_index];
+      std::uint64_t stream_bytes = traffic.weight_bytes;
+      const bool fused_consumer =
+          pair != nullptr && pair->consumer == seg.layer_index;
+      if (!fused_consumer) {
+        stream_bytes += traffic.input_bytes;
+      }
+      const std::uint64_t layer_folds =
+          plan.layer_latency[seg.layer_index].folds;
+      if (layer_folds > 0 && stream_bytes > 0) {
+        systolic::TrafficEstimate slice;
+        slice.input_bytes = stream_bytes * seg.folds / layer_folds;
+        const std::uint64_t load_cycles = slice.memory_cycles(plan.mem);
+        const std::uint64_t dur =
+            std::min<std::uint64_t>(load_cycles, seg.start_cycle);
+        if (dur > 0) {
+          sink.complete_event(
+              layer.name + " prefetch", "load", seg.start_cycle - dur,
+              dur, kLoadTrack,
+              {util::trace_num("bytes", slice.input_bytes),
+               util::trace_num(
+                   "from_sram",
+                   static_cast<std::uint64_t>(fused_consumer ? 1 : 0))});
+        }
+      }
+    }
+    end = std::max(end, seg.end_cycle);
+  }
+  if (fold_events && !plan.segments.empty()) {
+    sink.counter_event("sram_planned", end, systolic::kSramTrack,
+                       {{"resident+staging", 0}});
+  }
+  return end;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +169,9 @@ int main(int argc, char** argv) {
                    "also dump the metrics registry as JSON here");
   flags.add_bool("fold-events", true,
                  "emit per-fold spans and SRAM counter series");
+  flags.add_string("sched-mode",
+                   sched::sched_mode_name(sched::sched_mode()),
+                   "network schedule: per-layer or fused");
   flags.parse(argc, argv);
 
   const nets::NetworkId id = parse_net(flags.get_string("net"));
@@ -101,8 +183,60 @@ int main(int argc, char** argv) {
       << "ResNet-50 has no depthwise layers; only --variant=baseline";
   const bool fold_events = flags.get_bool("fold-events");
   const systolic::MemoryConfig mem;
+  sched::SchedMode mode;
+  FUSE_CHECK(sched::parse_sched_mode(flags.get_string("sched-mode"), &mode))
+      << "--sched-mode must be 'per-layer' or 'fused', got '"
+      << flags.get_string("sched-mode") << "'";
 
   const sched::VariantBuild build = sched::build_variant(id, variant, cfg);
+
+  if (mode == sched::SchedMode::kFused) {
+    const sched::NetworkPlan plan =
+        sched::plan_network(build.model, cfg, mem, mode);
+    util::TraceSink sink;
+    sink.process_name(build.model.name + " " +
+                      core::network_variant_name(variant) + " on " +
+                      cfg.to_string() +
+                      " (fused schedule; ts unit = array cycles)");
+    sink.thread_name(systolic::kLayerTrack, "schedule segments");
+    if (fold_events) {
+      sink.thread_name(systolic::kSramTrack, "sram occupancy");
+      sink.thread_name(kLoadTrack, "dram loads");
+    }
+    const std::uint64_t end =
+        export_fused_schedule(sink, plan, build.model, fold_events);
+    // The schedule IS the analytic model: reordering whole folds
+    // preserves the total exactly.
+    FUSE_CHECK(end == plan.total_cycles)
+        << "fused trace end " << end << " != schedule total "
+        << plan.total_cycles;
+    const std::string trace_path = flags.get_string("trace-json");
+    sink.write_json_file(trace_path);
+    std::printf(
+        "%s %s on %s array — fused schedule\n"
+        "  segments    : %zu (%zu fused groups)\n"
+        "  total       : %s cycles (= per-layer total, verified)\n"
+        "  sram        : %s high water of %s configured\n"
+        "wrote %s: %zu trace events — open in ui.perfetto.dev\n",
+        build.model.name.c_str(),
+        core::network_variant_name(variant).c_str(),
+        cfg.to_string().c_str(), plan.segments.size(),
+        plan.fused_pairs.size(),
+        util::with_commas(plan.total_cycles).c_str(),
+        util::format_bytes(plan.sram_high_water).c_str(),
+        util::format_bytes(
+            static_cast<std::uint64_t>(plan.mem.sram_bytes))
+            .c_str(),
+        trace_path.c_str(), sink.event_count());
+    const std::string stats_path = flags.get_string("stats-json");
+    if (!stats_path.empty()) {
+      util::metrics().write_json_file(stats_path);
+      std::printf("wrote %s (metrics registry%s)\n", stats_path.c_str(),
+                  util::telemetry_enabled() ? "" : " — FUSE_TELEMETRY off");
+    }
+    return 0;
+  }
+
   const sched::NetworkLatency analytic =
       sched::network_latency(build.model, cfg);
 

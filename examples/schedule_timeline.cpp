@@ -4,11 +4,17 @@
 // utilization; run the FuSe variant and the same chart compresses ~7x with
 // pointwise layers doing honest work.
 //
+// With --sched-mode=fused the chart shows the fused NetworkPlan instead:
+// every legal depthwise/FuSe -> pointwise group collapses into one
+// "producer+consumer" bar spanning the interleaved region (the end
+// timestamp is FUSE_CHECKed against the analytic total).
+//
 // Usage: schedule_timeline [--net=v2] [--variant=baseline] [--size=64]
-//        [--top=12] [--csv=]
+//        [--top=12] [--csv=] [--sched-mode=per-layer]
 #include <algorithm>
 #include <cstdio>
 
+#include "sched/netplan.hpp"
 #include "sched/timeline.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -45,20 +51,34 @@ int main(int argc, char** argv) {
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.add_int("top", 12, "show the N longest-running layers (0=all)");
   flags.add_string("csv", "", "write the full timeline CSV to this path");
+  flags.add_string("sched-mode",
+                   sched::sched_mode_name(sched::sched_mode()),
+                   "network schedule: per-layer or fused");
   flags.parse(argc, argv);
 
   const nets::NetworkId id = parse_net(flags.get_string("net"));
   const auto variant = parse_variant(flags.get_string("variant"));
   const auto cfg = systolic::square_array(flags.get_int("size"));
+  sched::SchedMode mode;
+  FUSE_CHECK(sched::parse_sched_mode(flags.get_string("sched-mode"), &mode))
+      << "--sched-mode must be 'per-layer' or 'fused', got '"
+      << flags.get_string("sched-mode") << "'";
 
   const sched::VariantBuild build = sched::build_variant(id, variant, cfg);
-  const sched::Timeline timeline =
-      sched::network_timeline(build.model, cfg);
+  const sched::NetworkPlan plan =
+      sched::plan_network(build.model, cfg, systolic::MemoryConfig{}, mode);
+  const sched::Timeline timeline = sched::plan_timeline(plan, build.model);
+  FUSE_CHECK(timeline.total_cycles == plan.total_cycles)
+      << "timeline end diverged from the schedule total";
 
-  std::printf("%s %s on %s — array occupancy\n\n",
+  std::printf("%s %s on %s — array occupancy (%s schedule",
               build.model.name.c_str(),
               core::network_variant_name(variant).c_str(),
-              cfg.to_string().c_str());
+              cfg.to_string().c_str(), sched::sched_mode_name(mode));
+  if (mode == sched::SchedMode::kFused) {
+    std::printf(", %zu fused groups", plan.fused_pairs.size());
+  }
+  std::printf(")\n\n");
 
   const std::int64_t top = flags.get_int("top");
   if (top > 0 && static_cast<std::size_t>(top) < timeline.entries.size()) {

@@ -347,4 +347,42 @@ LayerExecution execute_layer_on_array(const LayerDesc& layer,
   return {};
 }
 
+NetworkExecution execute_network_on_array(
+    const nets::NetworkModel& model,
+    const std::vector<tensor::Tensor>& weights, const Tensor& input,
+    const NetworkPlan& plan, const systolic::ArrayConfig& cfg) {
+  FUSE_CHECK(weights.size() == model.layers.size())
+      << "execute_network_on_array needs one weight entry per layer";
+  FUSE_CHECK(plan.layer_plans.size() == model.layers.size())
+      << "NetworkPlan does not match the model";
+  FUSE_CHECK(plan.on_array.size() == model.layers.size())
+      << "execute_network_on_array requires every layer on-array "
+         "(pool/add glue cannot thread the flat activation chain)";
+
+  // The schedule orders folds, not arithmetic: executing in layer order
+  // computes the same values the interleaved schedule would (a consumer
+  // stripe only ever reads producer outputs that have already landed),
+  // which is why fused and per-layer modes are bit-identical.
+  NetworkExecution exec;
+  Tensor activation = input;
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    LayerExecution layer_exec = execute_layer_on_array(
+        model.layers[i], activation, weights[i], cfg);
+    exec.cycles += layer_exec.cycles;
+    exec.folds += layer_exec.folds;
+    exec.mac_ops += layer_exec.mac_ops;
+    activation = std::move(layer_exec.output);
+  }
+  exec.output = std::move(activation);
+  if (!cfg.overlap_fold_drain) {
+    // Without drain overlap the analytic model and the simulator share
+    // the same per-fold accounting, so the schedule's cycle axis must be
+    // what the simulated execution measured.
+    FUSE_CHECK(exec.cycles == plan.total_cycles)
+        << "executed cycles " << exec.cycles
+        << " diverged from the schedule total " << plan.total_cycles;
+  }
+  return exec;
+}
+
 }  // namespace fuse::sched

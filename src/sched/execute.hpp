@@ -7,7 +7,10 @@
 // (with fold-drain overlap disabled, which is what the simulator models).
 #pragma once
 
+#include <vector>
+
 #include "nn/layer.hpp"
+#include "sched/netplan.hpp"
 #include "systolic/sim.hpp"
 #include "tensor/tensor.hpp"
 
@@ -45,5 +48,31 @@ LayerExecution execute_layer_on_array(const nn::LayerDesc& layer,
                                       const tensor::Tensor& input,
                                       const tensor::Tensor& weight,
                                       const systolic::ArrayConfig& cfg);
+
+/// Output and measured cost of one simulated whole-network inference.
+struct NetworkExecution {
+  tensor::Tensor output;
+  std::uint64_t cycles = 0;
+  std::uint64_t folds = 0;
+  std::uint64_t mac_ops = 0;
+};
+
+/// Runs a whole network on the simulated array, driven by a NetworkPlan
+/// (sched/netplan.hpp). Layers execute in schedule order with activations
+/// flowing forward; `weights` is parallel to model.layers (entries for
+/// glue ops are ignored). Every layer must be on-array executable — the
+/// executor rejects models with pool/add glue, which the flat activation
+/// chain cannot thread through. Fused schedules change WHICH DRAM
+/// transfers happen, never the arithmetic: outputs are bit-identical
+/// across modes (and across sim thread counts), which
+/// tests/test_netplan.cpp pins with memcmp. With
+/// cfg.overlap_fold_drain == false the measured cycles equal
+/// plan.total_cycles exactly (the simulator's accounting), FUSE_CHECKed
+/// here.
+NetworkExecution execute_network_on_array(
+    const nets::NetworkModel& model,
+    const std::vector<tensor::Tensor>& weights,
+    const tensor::Tensor& input, const NetworkPlan& plan,
+    const systolic::ArrayConfig& cfg);
 
 }  // namespace fuse::sched

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "sched/latency_cache.hpp"
+#include "sched/netplan.hpp"
 #include "systolic/mapping.hpp"
 #include "util/check.hpp"
 #include "util/telemetry.hpp"
@@ -55,7 +56,11 @@ LatencyEstimate layer_latency(const LayerDesc& layer,
                               const ArrayConfig& cfg) {
   // All per-OpKind mapping decisions live in systolic::lower(); this is
   // just a fold over the resulting primitive ops.
-  const LatencyEstimate est = systolic::lower(layer, cfg).total_latency();
+  return plan_latency(systolic::lower(layer, cfg));
+}
+
+LatencyEstimate plan_latency(const systolic::MappingPlan& plan) {
+  const LatencyEstimate est = plan.total_latency();
   record_layer_metrics(est);
   return est;
 }
@@ -249,20 +254,11 @@ systolic::TrafficEstimate layer_traffic(const LayerDesc& layer,
 NetworkRoofline network_roofline(const NetworkModel& model,
                                  const ArrayConfig& cfg,
                                  const systolic::MemoryConfig& mem) {
-  NetworkRoofline roofline;
-  for (const LayerDesc& layer : model.layers) {
-    const std::uint64_t compute = layer_latency(layer, cfg).cycles;
-    const systolic::TrafficEstimate traffic = layer_traffic(layer, cfg, mem);
-    const std::uint64_t memory = traffic.memory_cycles(mem);
-    roofline.compute_cycles += compute;
-    roofline.memory_cycles += memory;
-    roofline.bound_cycles += std::max(compute, memory);
-    roofline.total_bytes += traffic.total_bytes();
-    if (memory > compute && compute > 0) {
-      ++roofline.memory_bound_layers;
-    }
-  }
-  return roofline;
+  // The roofline is a view over the network schedule; the process-wide
+  // mode (default per-layer, which reproduces the historical per-layer
+  // walk bit for bit) decides whether fused pairs share their
+  // intermediate traffic.
+  return plan_roofline(plan_network(model, cfg, mem, sched_mode()));
 }
 
 double roofline_speedup(NetworkId id, NetworkVariant variant,

@@ -18,6 +18,7 @@
 #include "nn/layer.hpp"
 #include "systolic/config.hpp"
 #include "systolic/cycle_model.hpp"
+#include "systolic/mapping.hpp"
 #include "systolic/memory.hpp"
 
 namespace fuse::sched {
@@ -39,6 +40,13 @@ class LatencyCache;  // latency_cache.hpp — shape-keyed memo table
 /// serial path.
 LatencyEstimate layer_latency(const LayerDesc& layer,
                               const ArrayConfig& cfg);
+
+/// The estimate of an already-lowered plan, recording the same per-layer
+/// sched.* metrics layer_latency would — layer_latency(l, cfg) is exactly
+/// plan_latency(systolic::lower(l, cfg)). The network scheduler
+/// (netplan.hpp) lowers each layer once and costs it through this, so the
+/// telemetry deltas per evaluated layer are identical on both paths.
+LatencyEstimate plan_latency(const systolic::MappingPlan& plan);
 
 /// Batched inference: `batch` images processed together. For the conv
 /// family the batch stacks along the output-position (M) dimension; for FC
@@ -135,6 +143,11 @@ struct NetworkRoofline {
   std::uint64_t total_bytes = 0;
   int memory_bound_layers = 0;
 };
+/// Whole-network roofline under the process-wide schedule mode
+/// (netplan.hpp): per-layer mode reproduces the historical per-layer walk
+/// exactly; fused mode charges legal depthwise/FuSe -> pointwise pairs as
+/// single units with their redundant intermediate traffic removed, so the
+/// bound is never above the per-layer one.
 NetworkRoofline network_roofline(const NetworkModel& model,
                                  const ArrayConfig& cfg,
                                  const systolic::MemoryConfig& mem);

@@ -11,25 +11,60 @@ namespace fuse::sched {
 
 Timeline network_timeline(const NetworkModel& model,
                           const ArrayConfig& cfg) {
+  return plan_timeline(
+      plan_network(model, cfg, systolic::MemoryConfig{},
+                   SchedMode::kPerLayer),
+      model);
+}
+
+Timeline plan_timeline(const NetworkPlan& plan,
+                       const NetworkModel& model) {
   Timeline timeline;
-  std::uint64_t cursor = 0;
-  for (std::size_t i = 0; i < model.layers.size(); ++i) {
-    const nn::LayerDesc& layer = model.layers[i];
-    const LatencyEstimate est = layer_latency(layer, cfg);
-    if (est.cycles == 0) {
-      continue;  // glue ops occupy no array time
-    }
+  // Schedule segments are contiguous and in execution order; a fused
+  // pair's alternating segments collapse into one merged entry.
+  std::size_t i = 0;
+  while (i < plan.segments.size()) {
+    const ScheduleSegment& first = plan.segments[i];
+    const FusedPair* pair =
+        first.fused ? plan.pair_of(first.layer_index) : nullptr;
     TimelineEntry entry;
-    entry.layer_index = i;
-    entry.name = layer.name;
-    entry.kind = layer.kind;
-    entry.start_cycle = cursor;
-    entry.end_cycle = cursor + est.cycles;
-    entry.utilization = est.utilization();
-    cursor = entry.end_cycle;
+    entry.start_cycle = first.start_cycle;
+    if (pair == nullptr) {
+      const nn::LayerDesc& layer = model.layers[first.layer_index];
+      entry.layer_index = first.layer_index;
+      entry.name = layer.name;
+      entry.kind = layer.kind;
+      entry.end_cycle = first.end_cycle;
+      entry.utilization = plan.layer_latency[first.layer_index].utilization();
+      ++i;
+    } else {
+      // Consume every segment of this group (they are contiguous).
+      std::uint64_t end = first.end_cycle;
+      while (i < plan.segments.size() && plan.segments[i].fused &&
+             (plan.segments[i].layer_index == pair->producer ||
+              plan.segments[i].layer_index == pair->producer2 ||
+              plan.segments[i].layer_index == pair->consumer)) {
+        end = plan.segments[i].end_cycle;
+        ++i;
+      }
+      const nn::LayerDesc& producer = model.layers[pair->producer];
+      const nn::LayerDesc& consumer = model.layers[pair->consumer];
+      LatencyEstimate combined = plan.layer_latency[pair->producer];
+      entry.name = producer.name;
+      if (pair->producer2 != FusedPair::kNone) {
+        combined += plan.layer_latency[pair->producer2];
+        entry.name += "+" + model.layers[pair->producer2].name;
+      }
+      combined += plan.layer_latency[pair->consumer];
+      entry.layer_index = pair->producer;
+      entry.name += "+" + consumer.name;
+      entry.kind = consumer.kind;
+      entry.end_cycle = end;
+      entry.utilization = combined.utilization();
+    }
     timeline.entries.push_back(std::move(entry));
   }
-  timeline.total_cycles = cursor;
+  timeline.total_cycles = plan.total_cycles;
   return timeline;
 }
 

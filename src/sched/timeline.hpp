@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sched/latency.hpp"
+#include "sched/netplan.hpp"
 
 namespace fuse::sched {
 
@@ -33,8 +34,16 @@ struct Timeline {
   std::uint64_t total_cycles = 0;
 };
 
-/// Builds the timeline for one network on one array.
+/// Builds the timeline for one network on one array (per-layer schedule —
+/// equivalent to plan_timeline over a per-layer NetworkPlan).
 Timeline network_timeline(const NetworkModel& model, const ArrayConfig& cfg);
+
+/// Timeline view of a NetworkPlan. Per-layer plans give one entry per
+/// latency-bearing layer (identical to network_timeline); fused plans
+/// merge each fused pair into ONE entry spanning the interleaved region,
+/// named "producer+consumer" and carrying the consumer's kind, with the
+/// pair's combined utilization.
+Timeline plan_timeline(const NetworkPlan& plan, const NetworkModel& model);
 
 /// Writes the timeline as CSV (layer, kind, start, end, cycles, util).
 void write_timeline_csv(const Timeline& timeline, const std::string& path);

@@ -18,14 +18,19 @@
 namespace fuse::systolic {
 
 /// Off-array memory system. Default: FP16 operands, 16 bytes/cycle of DRAM
-/// bandwidth (e.g. 64-bit LPDDR4-class channel at ~2x the array clock).
+/// bandwidth (e.g. 64-bit LPDDR4-class channel at ~2x the array clock),
+/// and an 8 MiB on-chip SRAM shared by fold staging and activation
+/// buffers (the network-level scheduler in sched/netplan.hpp plans
+/// liveness-based allocations against this capacity).
 struct MemoryConfig {
   double dram_bytes_per_cycle = 16.0;
   std::int64_t dtype_bytes = 2;  // FP16, as in the paper's setup
+  std::int64_t sram_bytes = 8 * 1024 * 1024;
 
   void validate() const {
     FUSE_CHECK(dram_bytes_per_cycle > 0.0 && dtype_bytes > 0)
         << "bad memory config";
+    FUSE_CHECK(sram_bytes > 0) << "bad memory config: sram_bytes";
   }
 };
 

@@ -142,6 +142,40 @@ FoldTrace plan_trace(const MappingPlan& plan, const ArrayConfig& cfg,
   return trace;
 }
 
+std::uint64_t plan_peak_fold_bytes(const MappingPlan& plan,
+                                   const ArrayConfig& cfg,
+                                   const MemoryConfig& mem) {
+  cfg.validate();
+  mem.validate();
+  const std::uint64_t dtype = static_cast<std::uint64_t>(mem.dtype_bytes);
+  std::uint64_t peak = 0;
+  for (const PrimitiveOp& op : plan.ops) {
+    // The largest fold of a row-major tiling is the first one: every
+    // interior tile is full-sized and edge tiles are strictly smaller, so
+    // the peak is the full tile clamped to the operand dims.
+    std::uint64_t bytes = 0;
+    if (op.kind == PrimitiveKind::kFuse1DLine && op.broadcast) {
+      const std::int64_t rows = std::min(op.lines, cfg.rows);
+      const std::int64_t cols = std::min(op.line_out, cfg.cols);
+      bytes = static_cast<std::uint64_t>(rows * (cols + op.taps - 1) +
+                                         rows * op.taps + rows * cols) *
+              dtype;
+    } else {
+      const bool serialized_line =
+          op.kind == PrimitiveKind::kFuse1DLine;  // no-broadcast fallback
+      const std::int64_t m = serialized_line ? op.line_out : op.m;
+      const std::int64_t t = serialized_line ? op.taps : op.k;
+      const std::int64_t n = serialized_line ? 1 : op.n;
+      const std::int64_t rows = std::min(m, cfg.rows);
+      const std::int64_t cols = std::min(n, cfg.cols);
+      bytes = static_cast<std::uint64_t>(rows * t + t * cols + rows * cols) *
+              dtype;
+    }
+    peak = std::max(peak, bytes);
+  }
+  return peak;
+}
+
 std::uint64_t append_fold_trace_events(util::TraceSink& sink,
                                        const FoldTrace& trace,
                                        const std::string& name,

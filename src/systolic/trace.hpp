@@ -59,6 +59,15 @@ FoldTrace fuse1d_trace(std::int64_t lines, std::int64_t line_out,
 FoldTrace plan_trace(const MappingPlan& plan, const ArrayConfig& cfg,
                      const MemoryConfig& mem);
 
+/// Peak per-fold SRAM footprint of a lowered plan, computed directly from
+/// the fold-tile geometry (no FoldTrace materialization — the network
+/// scheduler calls this per layer to size double-buffer staging).
+/// Equals plan_trace(plan, cfg, mem).peak_fold_bytes(); zero for empty
+/// (glue) plans.
+std::uint64_t plan_peak_fold_bytes(const MappingPlan& plan,
+                                   const ArrayConfig& cfg,
+                                   const MemoryConfig& mem);
+
 /// Writes one CSV row per fold.
 void write_fold_trace_csv(const FoldTrace& trace, const std::string& path);
 

@@ -3,11 +3,12 @@
 #   1. default build + complete test suite,
 #   2. ThreadSanitizer build running the concurrency suites
 #      (test_thread_pool, test_sweep_determinism, test_properties,
-#      test_telemetry, test_kernels, test_systolic_sim — the last two
-#      cover the fast kernel backend's parallel_for tiling and the fast
-#      simulator's fold-parallel execution),
+#      test_telemetry, test_kernels, test_systolic_sim, test_netplan —
+#      the middle two cover the fast kernel backend's parallel_for tiling
+#      and the fast simulator's fold-parallel execution; test_netplan
+#      runs the network executor across schedule modes and sim threads),
 #   3. AddressSanitizer build running the mapping/executor suites
-#      (test_mapping, test_execute, test_systolic_sim),
+#      (test_mapping, test_execute, test_systolic_sim, test_netplan),
 #   4. Release (-O3) build running the kernel differential suite plus a
 #      bench_kernels smoke pass — the kernel exactness contract must
 #      survive full optimization, not just the default build,
@@ -31,7 +32,11 @@
 #      byte-identical stdout under --sim-backend=fast and
 #      --sim-backend=reference, and a bench_sim smoke pass re-verifies the
 #      fast engine's bit-exactness layer by layer,
-#   9. telemetry export: profile_network's trace/stats JSON must parse.
+#   9. schedule equality: the fused network schedule is strictly opt-in —
+#      every golden bench's stdout must be byte-identical between a
+#      flag-less run and an explicit --sched-mode=per-layer run,
+#  10. telemetry export: profile_network's trace/stats JSON must parse,
+#      in both the default per-layer view and the fused-schedule view.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        [release-build-dir]
@@ -52,15 +57,16 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/9] default build + full test suite ==="
+echo "=== [1/10] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/9] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/10] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
-                   test_telemetry test_kernels test_systolic_sim)
+                   test_telemetry test_kernels test_systolic_sim
+                   test_netplan)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target "${CONCURRENCY_TESTS[@]}"
@@ -70,8 +76,8 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/9] AddressSanitizer build + mapping/executor suites ==="
-ASAN_TESTS=(test_mapping test_execute test_systolic_sim)
+echo "=== [3/10] AddressSanitizer build + mapping/executor suites ==="
+ASAN_TESTS=(test_mapping test_execute test_systolic_sim test_netplan)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$ASAN_DIR" -j "$(nproc)" --target "${ASAN_TESTS[@]}"
@@ -81,7 +87,7 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/9] Release -O3 build: kernel differential suite + bench smoke ==="
+echo "=== [4/10] Release -O3 build: kernel differential suite + bench smoke ==="
 cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
 echo "--- test_kernels (Release) ---"
@@ -91,7 +97,7 @@ echo "--- bench_kernels smoke (Release) ---"
 echo "bench_kernels smoke: ok"
 
 echo
-echo "=== [5/9] forced-ISA matrix: differential suite + bench CSV tolerance ==="
+echo "=== [5/10] forced-ISA matrix: differential suite + bench CSV tolerance ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 # The differential suite under each forced ISA. Under =scalar the float
@@ -145,7 +151,7 @@ print(f"{len(names)} files agree between --kernel-isa=scalar and =auto")
 EOF
 
 echo
-echo "=== [6/9] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [6/10] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
@@ -165,7 +171,7 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [7/9] backend equality: --kernel-backend=fast vs reference ==="
+echo "=== [7/10] backend equality: --kernel-backend=fast vs reference ==="
 # Every golden-producing bench (all of bench/ except the google-benchmark
 # micro-bench, whose output is wall time). Each runs with --csv where
 # supported, in a per-backend scratch dir; stdout and every CSV written
@@ -179,7 +185,7 @@ GOLDEN_BENCHES=(bench_table1 bench_fig8a_latency bench_fig8b_layerwise
                 bench_ablation_broadcast bench_ablation_dataflow
                 bench_ablation_memory bench_energy bench_width_mult
                 bench_resolution bench_ablation_aspect bench_nos
-                bench_pareto)
+                bench_pareto bench_fusion)
 for bench in "${GOLDEN_BENCHES[@]}"; do
   bin="$REPO_ROOT/$BUILD_DIR/bench/$bench"
   [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
@@ -214,7 +220,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [8/9] sim backend equality: --sim-backend=fast vs reference ==="
+echo "=== [8/10] sim backend equality: --sim-backend=fast vs reference ==="
 # The simulator-driven examples must print byte-identical stdout under
 # either engine (the fast engine is bit-exact, cycles included). The
 # second fast leg also pins --sim-threads=4: fold-parallel execution may
@@ -241,10 +247,46 @@ done
 echo "bench_sim bit-exactness smoke: ok"
 
 echo
-echo "=== [9/9] telemetry export: profile_network JSON validity ==="
+echo "=== [9/10] schedule equality: default vs --sched-mode=per-layer ==="
+# The fused network schedule is strictly opt-in: with no flag, every
+# bench must print exactly what an explicit --sched-mode=per-layer run
+# prints (bench_ria_analysis takes no CLI flags, so its per-layer leg
+# pins the FUSE_SCHED_MODE env override instead).
+for bench in "${GOLDEN_BENCHES[@]}"; do
+  bin="$REPO_ROOT/$BUILD_DIR/bench/$bench"
+  [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
+  extra=()
+  if [ "$bench" = bench_accuracy_synth ]; then
+    extra+=(--seeds=1 --epochs=2 --train=64 --eval=32)
+  fi
+  if [ "$bench" = bench_ria_analysis ]; then
+    ok=$(diff <("$bin" | filter_bench_output) \
+              <(FUSE_SCHED_MODE=per-layer "$bin" | filter_bench_output) \
+           > /dev/null && echo yes || echo no)
+  else
+    ok=$(diff <("$bin" "${extra[@]}" | filter_bench_output) \
+              <("$bin" --sched-mode=per-layer "${extra[@]}" \
+                 | filter_bench_output) > /dev/null && echo yes || echo no)
+  fi
+  if [ "$ok" = yes ]; then
+    echo "$bench: default schedule matches per-layer"
+  else
+    echo "$bench: OUTPUT CHANGED under the default schedule mode" >&2
+    exit 1
+  fi
+done
+
+echo
+echo "=== [10/10] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"
+# The fused-schedule view exports through the same sink and must also
+# produce valid JSON (segment spans, SRAM counter track, prefetch spans).
+"$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
+  --sched-mode=fused \
+  --trace-json "$TELEMETRY_TMP/profile.fused.json" \
+  --stats-json "$TELEMETRY_TMP/profile.fused.stats.json"
 python3 - "$TELEMETRY_TMP" <<'EOF'
 import glob, json, os, sys
 tmp = sys.argv[1]
@@ -253,7 +295,8 @@ assert paths, "no telemetry JSON written"
 for path in paths:
     with open(path) as f:
         doc = json.load(f)
-    if os.path.basename(path).endswith(("trace.json", "profile.json")):
+    if os.path.basename(path).endswith(
+            ("trace.json", "profile.json", "profile.fused.json")):
         assert doc["traceEvents"], f"{path}: empty traceEvents"
 print(f"{len(paths)} telemetry JSON files parsed")
 EOF

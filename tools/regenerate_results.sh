@@ -30,6 +30,10 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   elif [ "$name" = bench_sim ]; then
     # Simulator engine rows (reference/fast/fast_t4 ms + speedups).
     "$bench" --json="$RESULTS_DIR/BENCH_sim.json" | tee "$name.txt"
+  elif [ "$name" = bench_fusion ]; then
+    # Network-scheduler rows: per-layer vs fused roofline per network x
+    # variant, with the proven never-slower bound savings.
+    "$bench" --json="$RESULTS_DIR/BENCH_fusion.json" --csv | tee "$name.txt"
   elif "$bench" --help 2>&1 | grep -q -- '--csv'; then
     "$bench" --csv | tee "$name.txt"
   else
