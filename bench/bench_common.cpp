@@ -16,6 +16,9 @@ void add_telemetry_flags(util::CliFlags& flags) {
                    "write runtime span timeline here (Perfetto JSON)");
   flags.add_string("stats-json", "",
                    "write the metrics registry here as JSON");
+  flags.add_string("profile-json", "",
+                   "write span wall-clock stats (exact p50/p90/p99, "
+                   "self vs child time) here as JSON");
 }
 
 void add_kernel_flags(util::CliFlags& flags) {
@@ -87,6 +90,48 @@ void apply_sched_flags(const util::CliFlags& flags) {
   sched::set_sched_mode(mode);
 }
 
+TelemetryScope::TelemetryScope(const util::CliFlags& flags)
+    : trace_path_(flags.get_string("trace-json")),
+      stats_path_(flags.get_string("stats-json")),
+      profile_path_(flags.get_string("profile-json")) {
+  if (!trace_path_.empty() && util::telemetry_enabled()) {
+    sink_ = std::make_unique<util::TraceSink>();
+    sink_->process_name("fuseconv sweep (ts unit = wall us)");
+    util::set_global_trace_sink(sink_.get());
+  }
+  if (!profile_path_.empty() && util::telemetry_enabled()) {
+    collector_ = std::make_unique<util::ProfileCollector>();
+    util::set_global_profile_collector(collector_.get());
+  }
+}
+
+TelemetryScope::~TelemetryScope() { finalize(); }
+
+void TelemetryScope::finalize() {
+  if (finalized_) {
+    return;
+  }
+  finalized_ = true;
+  if (sink_) {
+    // Detach before writing so nothing appends mid-serialization. No
+    // parallel work is in flight here: the pools only run workers inside
+    // parallel_for, which blocks its caller.
+    util::set_global_trace_sink(nullptr);
+    sink_->write_json_file(trace_path_);
+  }
+  if (collector_) {
+    util::set_global_profile_collector(nullptr);
+    collector_->write_json_file(profile_path_);
+  }
+  if (!profile_path_.empty() && !collector_) {
+    // FUSE_TELEMETRY off: still honor the flag with an empty document.
+    util::ProfileCollector().write_json_file(profile_path_);
+  }
+  if (!stats_path_.empty()) {
+    util::metrics().write_json_file(stats_path_);
+  }
+}
+
 SweepHarness::SweepHarness(util::CliFlags& flags) {
   sched::add_sweep_flags(flags);
   add_telemetry_flags(flags);
@@ -102,13 +147,7 @@ sched::SweepEngine& SweepHarness::engine(const util::CliFlags& flags) {
   apply_kernel_flags(flags);
   apply_sim_flags(flags);
   apply_sched_flags(flags);
-  trace_path_ = flags.get_string("trace-json");
-  stats_path_ = flags.get_string("stats-json");
-  if (!trace_path_.empty() && util::telemetry_enabled()) {
-    sink_ = std::make_unique<util::TraceSink>();
-    sink_->process_name("fuseconv sweep (ts unit = wall us)");
-    util::set_global_trace_sink(sink_.get());
-  }
+  telemetry_.emplace(flags);
   engine_.emplace(sched::sweep_options_from_flags(flags));
   start_ = std::chrono::steady_clock::now();
   return *engine_;
@@ -123,19 +162,8 @@ void SweepHarness::stop() {
 }
 
 void SweepHarness::finalize() {
-  if (finalized_) {
-    return;
-  }
-  finalized_ = true;
-  if (sink_) {
-    // Detach before writing so nothing appends mid-serialization. No
-    // parallel work is in flight here: the engine's pool only runs
-    // workers inside parallel_for, which blocks its caller.
-    util::set_global_trace_sink(nullptr);
-    sink_->write_json_file(trace_path_);
-  }
-  if (!stats_path_.empty()) {
-    util::metrics().write_json_file(stats_path_);
+  if (telemetry_) {
+    telemetry_->finalize();
   }
 }
 

@@ -8,7 +8,9 @@
 // a global trace sink for the engine's lifetime and writes the runtime
 // span timeline (wall-clock us: sweep cells, parallel_fors) on exit;
 // --stats-json=<path> dumps the metrics registry (cache hits/misses,
-// steal counts, per-layer histograms). Both are silent — stdout and CSV
+// steal counts, per-layer histograms); --profile-json=<path> attaches a
+// ProfileCollector and writes span wall-clock statistics (exact
+// p50/p90/p99, self vs child time). All three are silent — stdout and CSV
 // output stay byte-identical whether or not the flags are set.
 //
 // Usage:
@@ -32,13 +34,15 @@
 #include "util/cli.hpp"
 
 namespace fuse::util {
+class ProfileCollector;
 class TraceSink;
 }
 
 namespace fuse::bench {
 
-/// Registers --trace-json/--stats-json on `flags` (both default empty =
-/// off). SweepHarness calls this; standalone tools can reuse it.
+/// Registers --trace-json/--stats-json/--profile-json on `flags` (all
+/// default empty = off). SweepHarness calls this; standalone tools can
+/// reuse it.
 void add_telemetry_flags(util::CliFlags& flags);
 
 /// Registers --kernel-backend (fast|reference, default: current, i.e.
@@ -70,6 +74,32 @@ void add_sched_flags(util::CliFlags& flags);
 
 /// Applies the parsed sched flags to the process-wide schedule mode.
 void apply_sched_flags(const util::CliFlags& flags);
+
+/// RAII wiring of the parsed telemetry flags for any tool: attaches a
+/// global TraceSink (--trace-json) and ProfileCollector (--profile-json)
+/// for its lifetime, then detaches and silently writes the requested
+/// files — including the --stats-json metrics dump — on destruction (or
+/// at an explicit finalize()). Construct AFTER flags.parse(). Stdout is
+/// untouched, so golden outputs stay byte-identical with the flags off.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(const util::CliFlags& flags);
+  ~TelemetryScope();
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  /// Detaches and writes now; idempotent.
+  void finalize();
+
+ private:
+  std::unique_ptr<util::TraceSink> sink_;
+  std::unique_ptr<util::ProfileCollector> collector_;
+  std::string trace_path_;
+  std::string stats_path_;
+  std::string profile_path_;
+  bool finalized_ = false;
+};
 
 class SweepHarness {
  public:
@@ -103,10 +133,7 @@ class SweepHarness {
   std::optional<sched::SweepEngine> engine_;
   std::chrono::steady_clock::time_point start_;
   double wall_ms_ = -1.0;
-  std::unique_ptr<util::TraceSink> sink_;
-  std::string trace_path_;
-  std::string stats_path_;
-  bool finalized_ = false;
+  std::optional<TelemetryScope> telemetry_;
 };
 
 }  // namespace fuse::bench

@@ -19,9 +19,17 @@
 // against the fused schedule's analytic total exactly as the per-layer
 // path checks network_latency.
 //
+// With --attribution-json=<path> the program additionally runs the
+// bottleneck-attribution engine (sched/attribution.hpp) over the same
+// schedule, writes the per-layer / per-unit decomposition as JSON, and
+// adds an "attribution" counter track to the trace: at each segment
+// boundary the attributed compute vs fill/drain cycles of the segment,
+// so the viewer shows WHERE the array's time goes, not just when layers
+// run.
+//
 // Usage: profile_network [--net=v2] [--variant=fuse_full] [--size=64]
 //        [--trace-json=profile.json] [--stats-json=] [--fold-events=true]
-//        [--sched-mode=per-layer]
+//        [--sched-mode=per-layer] [--attribution-json=]
 //   --net      v1|v2|v3s|v3l|mnas|resnet50 (mobilenet_v2-style long
 //              names accepted)
 //   --variant  baseline|fuse_full|fuse_half|fuse_full50|fuse_half50
@@ -31,6 +39,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sched/attribution.hpp"
 #include "sched/latency.hpp"
 #include "sched/netplan.hpp"
 #include "systolic/mapping.hpp"
@@ -90,6 +99,28 @@ core::NetworkVariant parse_variant(const std::string& name) {
 
 // DRAM prefetch spans land on their own track below the SRAM counters.
 constexpr int kLoadTrack = 3;
+// Attributed-category counters (compute vs fill/drain per segment).
+constexpr int kAttributionTrack = 4;
+
+/// Emits the attribution counter series: at each schedule segment's start,
+/// the segment's attributed compute and fill/drain cycle counts (stepped
+/// series; a closing zero sample at the end). Works for both modes — the
+/// per-layer schedule has one segment per on-array layer.
+void export_attribution_track(util::TraceSink& sink,
+                              const sched::NetworkPlan& plan,
+                              const sched::AttributionReport& report) {
+  for (std::size_t s = 0; s < plan.segments.size(); ++s) {
+    const sched::SegmentAttribution& sa = report.segments[s];
+    sink.counter_event("attribution", plan.segments[s].start_cycle,
+                       kAttributionTrack,
+                       {{"compute", sa.split.compute},
+                        {"fill_drain", sa.split.fill_drain}});
+  }
+  if (!plan.segments.empty()) {
+    sink.counter_event("attribution", plan.total_cycles, kAttributionTrack,
+                       {{"compute", 0}, {"fill_drain", 0}});
+  }
+}
 
 /// Exports the fused NetworkPlan: one span per schedule segment, prefetch
 /// spans overlapping the previous segment's compute, and the planned SRAM
@@ -167,6 +198,9 @@ int main(int argc, char** argv) {
                    "trace-event output path (open in ui.perfetto.dev)");
   flags.add_string("stats-json", "",
                    "also dump the metrics registry as JSON here");
+  flags.add_string("attribution-json", "",
+                   "write the cycle-attribution report here and add an "
+                   "'attribution' counter track to the trace");
   flags.add_bool("fold-events", true,
                  "emit per-fold spans and SRAM counter series");
   flags.add_string("sched-mode",
@@ -210,6 +244,17 @@ int main(int argc, char** argv) {
     FUSE_CHECK(end == plan.total_cycles)
         << "fused trace end " << end << " != schedule total "
         << plan.total_cycles;
+    const std::string attribution_path =
+        flags.get_string("attribution-json");
+    std::uint64_t attribution_stall = 0;
+    if (!attribution_path.empty()) {
+      const sched::AttributionReport report =
+          sched::attribute_network(plan, build.model);
+      sink.thread_name(kAttributionTrack, "attribution");
+      export_attribution_track(sink, plan, report);
+      sched::write_attribution_json_file(attribution_path, report);
+      attribution_stall = report.total_dram_stall;
+    }
     const std::string trace_path = flags.get_string("trace-json");
     sink.write_json_file(trace_path);
     std::printf(
@@ -228,6 +273,12 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(plan.mem.sram_bytes))
             .c_str(),
         trace_path.c_str(), sink.event_count());
+    if (!attribution_path.empty()) {
+      std::printf("wrote %s (cycle attribution; %s DRAM stall cycles on "
+                  "top of compute)\n",
+                  attribution_path.c_str(),
+                  util::with_commas(attribution_stall).c_str());
+    }
     const std::string stats_path = flags.get_string("stats-json");
     if (!stats_path.empty()) {
       util::metrics().write_json_file(stats_path);
@@ -291,6 +342,23 @@ int main(int argc, char** argv) {
       << "trace timeline " << cursor << " != analytic network latency "
       << analytic.total_cycles;
 
+  const std::string attribution_path = flags.get_string("attribution-json");
+  std::uint64_t attribution_stall = 0;
+  if (!attribution_path.empty()) {
+    // The per-layer NetworkPlan schedules the same lowered plans
+    // back-to-back, so its segments line up with the trace's layer spans
+    // (plan.total_cycles == analytic total, FUSE_CHECKed in
+    // attribute_network).
+    const sched::NetworkPlan plan = sched::plan_network(
+        build.model, cfg, mem, sched::SchedMode::kPerLayer);
+    const sched::AttributionReport report =
+        sched::attribute_network(plan, build.model);
+    sink.thread_name(kAttributionTrack, "attribution");
+    export_attribution_track(sink, plan, report);
+    sched::write_attribution_json_file(attribution_path, report);
+    attribution_stall = report.total_dram_stall;
+  }
+
   const std::string trace_path = flags.get_string("trace-json");
   sink.write_json_file(trace_path);
 
@@ -314,6 +382,13 @@ int main(int argc, char** argv) {
       util::format_bytes(peak_fold_bytes).c_str(),
       util::format_bytes(2 * peak_fold_bytes).c_str(), trace_path.c_str(),
       sink.event_count());
+
+  if (!attribution_path.empty()) {
+    std::printf("wrote %s (cycle attribution; %s DRAM stall cycles on "
+                "top of compute)\n",
+                attribution_path.c_str(),
+                util::with_commas(attribution_stall).c_str());
+  }
 
   const std::string stats_path = flags.get_string("stats-json");
   if (!stats_path.empty()) {

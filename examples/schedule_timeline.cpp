@@ -11,9 +11,11 @@
 //
 // Usage: schedule_timeline [--net=v2] [--variant=baseline] [--size=64]
 //        [--top=12] [--csv=] [--sched-mode=per-layer]
+//        [--trace-json=] [--stats-json=] [--profile-json=]
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "sched/netplan.hpp"
 #include "sched/timeline.hpp"
 #include "util/check.hpp"
@@ -54,7 +56,11 @@ int main(int argc, char** argv) {
   flags.add_string("sched-mode",
                    sched::sched_mode_name(sched::sched_mode()),
                    "network schedule: per-layer or fused");
+  bench::add_telemetry_flags(flags);
   flags.parse(argc, argv);
+  // Silent: writes --trace-json/--stats-json/--profile-json on exit
+  // without touching stdout.
+  bench::TelemetryScope telemetry(flags);
 
   const nets::NetworkId id = parse_net(flags.get_string("net"));
   const auto variant = parse_variant(flags.get_string("variant"));

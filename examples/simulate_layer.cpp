@@ -5,6 +5,7 @@
 //
 // Usage: simulate_layer [--channels=8] [--hw=16] [--kernel=3] [--size=16]
 //                       [--sim-backend=fast|reference] [--sim-threads=N]
+//                       [--trace-json=] [--stats-json=] [--profile-json=]
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -25,8 +26,12 @@ int main(int argc, char** argv) {
   flags.add_int("kernel", 3, "1-D kernel taps");
   flags.add_int("size", 16, "systolic array size (SxS)");
   bench::add_sim_flags(flags);
+  bench::add_telemetry_flags(flags);
   flags.parse(argc, argv);
   bench::apply_sim_flags(flags);
+  // Silent: writes --trace-json/--stats-json/--profile-json on exit
+  // without touching stdout.
+  bench::TelemetryScope telemetry(flags);
 
   const std::int64_t channels = flags.get_int("channels");
   const std::int64_t hw = flags.get_int("hw");

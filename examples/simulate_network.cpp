@@ -8,6 +8,7 @@
 //
 // Usage: simulate_network [--size=16] [--hw=16] [--channels=8]
 //                         [--sim-backend=fast|reference] [--sim-threads=N]
+//                         [--trace-json=] [--stats-json=] [--profile-json=]
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -35,8 +36,12 @@ int main(int argc, char** argv) {
   flags.add_int("hw", 16, "input feature-map size");
   flags.add_int("channels", 8, "stem channels");
   bench::add_sim_flags(flags);
+  bench::add_telemetry_flags(flags);
   flags.parse(argc, argv);
   bench::apply_sim_flags(flags);
+  // Silent: writes --trace-json/--stats-json/--profile-json on exit
+  // without touching stdout.
+  bench::TelemetryScope telemetry(flags);
 
   auto cfg = systolic::square_array(flags.get_int("size"));
   cfg.overlap_fold_drain = false;  // what the PE-grid simulator measures

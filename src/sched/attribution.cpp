@@ -1,0 +1,418 @@
+#include "sched/attribution.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/trace_sink.hpp"
+
+namespace fuse::sched {
+
+using systolic::ArrayConfig;
+using systolic::Dataflow;
+using systolic::FoldTile;
+using systolic::PrimitiveKind;
+using systolic::PrimitiveOp;
+
+namespace {
+
+/// Per-fold component walk of one matmul-shaped repeat — the formulas of
+/// systolic/cycle_model.cpp with skew/preload/drain separated from the
+/// MAC-streaming window. Emits fn(split, macs) once per fold.
+void matmul_fold_splits(
+    std::int64_t m, std::int64_t t, std::int64_t n, const ArrayConfig& cfg,
+    const std::function<void(const CycleSplit&, std::uint64_t)>& fn) {
+  // Gather the fold grid first: the overlap variants treat the first
+  // (preload) or last (drain) fold specially.
+  std::vector<FoldTile> tiles;
+  switch (cfg.dataflow) {
+    case Dataflow::kOutputStationary:
+      systolic::for_each_fold_tile(
+          m, n, cfg, [&](const FoldTile& tile) { tiles.push_back(tile); });
+      break;
+    case Dataflow::kWeightStationary:
+      systolic::for_each_fold_tile(
+          t, n, cfg, [&](const FoldTile& tile) { tiles.push_back(tile); });
+      break;
+    case Dataflow::kInputStationary:
+      systolic::for_each_fold_tile(
+          m, t, cfg, [&](const FoldTile& tile) { tiles.push_back(tile); });
+      break;
+  }
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const FoldTile& tile = tiles[i];
+    const bool first = i == 0;
+    const bool last = i + 1 == tiles.size();
+    CycleSplit split;
+    std::uint64_t macs = 0;
+    switch (cfg.dataflow) {
+      case Dataflow::kOutputStationary:
+        // (R-1)+(C-1) fill skew, T MAC cycles, R drain (last fold only
+        // when drains overlap the next fold's fill).
+        split.fill_drain =
+            static_cast<std::uint64_t>((tile.rows - 1) + (tile.cols - 1));
+        split.compute = static_cast<std::uint64_t>(t);
+        if (!cfg.overlap_fold_drain || last) {
+          split.fill_drain += static_cast<std::uint64_t>(tile.rows);
+        }
+        macs = static_cast<std::uint64_t>(tile.rows) *
+               static_cast<std::uint64_t>(tile.cols) *
+               static_cast<std::uint64_t>(t);
+        break;
+      case Dataflow::kWeightStationary:
+        // T_u preload (hidden behind the previous fold's streaming when
+        // double-buffered), M streaming MAC cycles, (T_u + N_u - 2)
+        // propagation skew.
+        if (first || !cfg.overlap_fold_drain) {
+          split.fill_drain += static_cast<std::uint64_t>(tile.rows);
+        }
+        split.compute = static_cast<std::uint64_t>(m);
+        split.fill_drain +=
+            static_cast<std::uint64_t>(tile.rows + tile.cols - 2);
+        macs = static_cast<std::uint64_t>(m) *
+               static_cast<std::uint64_t>(tile.rows) *
+               static_cast<std::uint64_t>(tile.cols);
+        break;
+      case Dataflow::kInputStationary:
+        // Symmetric to WS with the activations pinned: M_u preload, N
+        // streaming, (M_u + T_u - 2) skew.
+        if (first || !cfg.overlap_fold_drain) {
+          split.fill_drain += static_cast<std::uint64_t>(tile.rows);
+        }
+        split.compute = static_cast<std::uint64_t>(n);
+        split.fill_drain +=
+            static_cast<std::uint64_t>(tile.rows + tile.cols - 2);
+        macs = static_cast<std::uint64_t>(n) *
+               static_cast<std::uint64_t>(tile.rows) *
+               static_cast<std::uint64_t>(tile.cols);
+        break;
+    }
+    fn(split, macs);
+  }
+}
+
+/// The broadcast FuSe 1-D wave: (C-1) input skew along the row, k
+/// broadcast MAC cycles, R drain (last wave only under overlap).
+void fuse1d_fold_splits(
+    std::int64_t lines, std::int64_t line_out, std::int64_t k,
+    const ArrayConfig& cfg,
+    const std::function<void(const CycleSplit&, std::uint64_t)>& fn) {
+  std::vector<FoldTile> tiles;
+  systolic::for_each_fold_tile(
+      lines, line_out, cfg,
+      [&](const FoldTile& tile) { tiles.push_back(tile); });
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const FoldTile& tile = tiles[i];
+    const bool last = i + 1 == tiles.size();
+    CycleSplit split;
+    split.fill_drain = static_cast<std::uint64_t>(tile.cols - 1);
+    split.compute = static_cast<std::uint64_t>(k);
+    if (!cfg.overlap_fold_drain || last) {
+      split.fill_drain += static_cast<std::uint64_t>(tile.rows);
+    }
+    fn(split, static_cast<std::uint64_t>(tile.rows) *
+                  static_cast<std::uint64_t>(tile.cols) *
+                  static_cast<std::uint64_t>(k));
+  }
+}
+
+}  // namespace
+
+void for_each_fold_split(
+    const PrimitiveOp& op, const ArrayConfig& cfg,
+    const std::function<void(const CycleSplit&, std::uint64_t)>& fn) {
+  FUSE_CHECK(op.repeats >= 1) << "primitive op with repeats=" << op.repeats;
+  for (std::int64_t r = 0; r < op.repeats; ++r) {
+    switch (op.kind) {
+      case PrimitiveKind::kMatmulTile:
+      case PrimitiveKind::kIm2colTile:
+      case PrimitiveKind::kChannelwiseTile:
+        matmul_fold_splits(op.m, op.k, op.n, cfg, fn);
+        break;
+      case PrimitiveKind::kFuse1DLine:
+        if (op.broadcast) {
+          fuse1d_fold_splits(op.lines, op.line_out, op.taps, cfg, fn);
+        } else {
+          // Broadcast-less lines degrade to serialized single-column
+          // matmuls (one per repeat — lower() sets repeats = lines).
+          matmul_fold_splits(op.line_out, op.taps, /*n=*/1, cfg, fn);
+        }
+        break;
+    }
+  }
+}
+
+CycleSplit decompose_primitive(const PrimitiveOp& op,
+                               const ArrayConfig& cfg) {
+  CycleSplit split;
+  std::uint64_t macs = 0;
+  std::uint64_t folds = 0;
+  for_each_fold_split(op, cfg,
+                      [&](const CycleSplit& fold, std::uint64_t fold_macs) {
+                        split += fold;
+                        macs += fold_macs;
+                        ++folds;
+                      });
+  const systolic::LatencyEstimate total = op.total();
+  FUSE_CHECK(split.total() == total.cycles)
+      << "attribution components (" << split.compute << " compute + "
+      << split.fill_drain << " fill/drain) do not sum to the analytic "
+      << total.cycles << " cycles of " << primitive_kind_name(op.kind);
+  FUSE_CHECK(macs == total.mac_ops && folds == total.folds)
+      << "attribution fold walk diverged from the plan fold counts for "
+      << primitive_kind_name(op.kind);
+  return split;
+}
+
+AttributionReport attribute_network(const NetworkPlan& plan,
+                                    const nets::NetworkModel& model) {
+  FUSE_CHECK(plan.layer_plans.size() == model.layers.size())
+      << "attribution needs the plan built from this model";
+  AttributionReport report;
+  report.mode = plan.mode;
+  report.cfg = plan.cfg;
+  report.mem = plan.mem;
+  report.network = model.name;
+
+  const std::uint64_t pe_count =
+      static_cast<std::uint64_t>(plan.cfg.pe_count());
+
+  // --- per-layer time + PE decomposition -------------------------------------
+  report.layers.reserve(plan.on_array.size());
+  for (const std::size_t idx : plan.on_array) {
+    const systolic::LatencyEstimate& est = plan.layer_latency[idx];
+    LayerAttribution la;
+    la.layer_index = idx;
+    la.name = model.layers[idx].name;
+    la.op_class = classify_layer(model.layers[idx]);
+    la.cycles = est.cycles;
+    la.mac_ops = est.mac_ops;
+    la.folds = est.folds;
+    for (const PrimitiveOp& op : plan.layer_plans[idx].ops) {
+      la.split += decompose_primitive(op, plan.cfg);
+    }
+    FUSE_CHECK(la.split.total() == est.cycles)
+        << "layer '" << la.name << "' attribution (" << la.split.compute
+        << " + " << la.split.fill_drain << ") != analytic latency "
+        << est.cycles;
+    la.pe_total = est.cycles * pe_count;
+    la.pe_busy = est.mac_ops;
+    const std::uint64_t pe_compute = la.split.compute * pe_count;
+    FUSE_CHECK(pe_compute >= la.pe_busy)
+        << "layer '" << la.name
+        << "' performs more MACs than its compute windows allow";
+    la.pe_idle_geometry = pe_compute - la.pe_busy;
+    la.pe_idle_fill_drain = la.split.fill_drain * pe_count;
+    const systolic::TrafficEstimate& traffic = plan.layer_traffic[idx];
+    la.dram_bytes = traffic.total_bytes();
+    la.memory_cycles = traffic.memory_cycles(plan.mem);
+
+    report.total_cycles += la.cycles;
+    report.total_split += la.split;
+    report.pe_total += la.pe_total;
+    report.pe_busy += la.pe_busy;
+    report.pe_idle_geometry += la.pe_idle_geometry;
+    report.pe_idle_fill_drain += la.pe_idle_fill_drain;
+    report.by_class[static_cast<int>(la.op_class)] += la.split;
+    report.layers.push_back(std::move(la));
+  }
+  FUSE_CHECK(report.total_cycles == plan.total_cycles)
+      << "attributed layer cycles " << report.total_cycles
+      << " != schedule total " << plan.total_cycles;
+  FUSE_CHECK(report.total_split.total() == plan.total_cycles)
+      << "attribution categories do not sum to the schedule total";
+  FUSE_CHECK(report.pe_busy + report.pe_idle_geometry +
+                 report.pe_idle_fill_drain ==
+             report.pe_total)
+      << "PE-cycle attribution does not sum to cycles x PEs";
+
+  // --- roofline scheduling units (mirrors plan_roofline's walk) --------------
+  std::vector<bool> consumed(plan.layer_latency.size(), false);
+  for (const FusedPair& pair : plan.fused_pairs) {
+    if (pair.producer2 != FusedPair::kNone) {
+      consumed[pair.producer2] = true;
+    }
+    consumed[pair.consumer] = true;
+  }
+  for (std::size_t i = 0; i < plan.layer_latency.size(); ++i) {
+    if (consumed[i]) {
+      continue;
+    }
+    const FusedPair* pair = plan.pair_of(i);
+    UnitAttribution unit;
+    unit.layer_indices.push_back(i);
+    unit.name = model.layers[i].name;
+    unit.compute_cycles = plan.layer_latency[i].cycles;
+    systolic::TrafficEstimate traffic = plan.layer_traffic[i];
+    if (pair != nullptr && pair->producer == i) {
+      unit.fused = true;
+      if (pair->producer2 != FusedPair::kNone) {
+        unit.layer_indices.push_back(pair->producer2);
+        unit.compute_cycles += plan.layer_latency[pair->producer2].cycles;
+        traffic += plan.layer_traffic[pair->producer2];
+      }
+      unit.layer_indices.push_back(pair->consumer);
+      unit.compute_cycles += plan.layer_latency[pair->consumer].cycles;
+      traffic.output_bytes -= pair->saved_output_bytes;
+      traffic += plan.layer_traffic[pair->consumer];
+      traffic.input_bytes -= pair->saved_input_bytes;
+      unit.name += " +" + std::to_string(unit.layer_indices.size() - 1);
+    }
+    unit.memory_cycles = traffic.memory_cycles(plan.mem);
+    unit.dram_bytes = traffic.total_bytes();
+    unit.dram_stall_cycles = unit.memory_cycles > unit.compute_cycles
+                                 ? unit.memory_cycles - unit.compute_cycles
+                                 : 0;
+    unit.bound_cycles = unit.compute_cycles + unit.dram_stall_cycles;
+    unit.memory_bound =
+        unit.memory_cycles > unit.compute_cycles && unit.compute_cycles > 0;
+    report.total_dram_stall += unit.dram_stall_cycles;
+    report.bound_cycles += unit.bound_cycles;
+    if (unit.bound_cycles > 0) {  // glue layers contribute nothing
+      report.units.push_back(std::move(unit));
+    }
+  }
+  const NetworkRoofline roofline = plan_roofline(plan);
+  FUSE_CHECK(report.bound_cycles == roofline.bound_cycles)
+      << "attributed roofline bound " << report.bound_cycles
+      << " != plan_roofline " << roofline.bound_cycles;
+  FUSE_CHECK(report.bound_cycles ==
+             report.total_cycles + report.total_dram_stall)
+      << "DRAM stall attribution does not close the roofline gap";
+
+  // --- per-segment shares of the layer decompositions ------------------------
+  // The schedule only reorders whole folds and preserves each layer's
+  // internal fold order, so segment k of a layer covers the next
+  // `seg.folds` folds of the layer's canonical walk.
+  std::vector<std::vector<std::size_t>> layer_segments(
+      plan.layer_plans.size());
+  for (std::size_t s = 0; s < plan.segments.size(); ++s) {
+    layer_segments[plan.segments[s].layer_index].push_back(s);
+  }
+  report.segments.resize(plan.segments.size());
+  for (const std::size_t idx : plan.on_array) {
+    const std::vector<std::size_t>& segs = layer_segments[idx];
+    if (segs.empty()) {
+      continue;  // plans without segments (not scheduled on the array)
+    }
+    std::size_t cursor = 0;  // index into segs
+    std::uint64_t taken = 0;  // folds consumed by segs[cursor]
+    CycleSplit layer_sum;
+    for (const PrimitiveOp& op : plan.layer_plans[idx].ops) {
+      for_each_fold_split(
+          op, plan.cfg,
+          [&](const CycleSplit& fold, std::uint64_t fold_macs) {
+            while (cursor < segs.size() &&
+                   taken >= plan.segments[segs[cursor]].folds) {
+              ++cursor;
+              taken = 0;
+            }
+            FUSE_CHECK(cursor < segs.size())
+                << "layer '" << model.layers[idx].name
+                << "' has more folds than its schedule segments cover";
+            SegmentAttribution& sa = report.segments[segs[cursor]];
+            sa.segment_index = segs[cursor];
+            sa.layer_index = idx;
+            sa.split += fold;
+            sa.mac_ops += fold_macs;
+            layer_sum += fold;
+            ++taken;
+          });
+    }
+    // Every segment fully consumed, and the segment shares reproduce the
+    // layer's own decomposition exactly.
+    FUSE_CHECK(cursor + 1 >= segs.size())
+        << "layer '" << model.layers[idx].name
+        << "' schedule segments cover more folds than the layer has";
+    FUSE_CHECK(layer_sum.total() == plan.layer_latency[idx].cycles)
+        << "segment attribution of '" << model.layers[idx].name
+        << "' does not sum to its analytic latency";
+  }
+  return report;
+}
+
+namespace {
+
+void write_split_fields(std::ostream& out, const CycleSplit& split) {
+  out << "\"compute_cycles\": " << split.compute
+      << ", \"fill_drain_cycles\": " << split.fill_drain;
+}
+
+}  // namespace
+
+void write_attribution_json(std::ostream& out,
+                            const AttributionReport& report) {
+  out << "{\n  \"schema\": 1,\n";
+  out << "  \"network\": \"" << util::json_escape(report.network)
+      << "\",\n";
+  out << "  \"sched_mode\": \"" << sched_mode_name(report.mode) << "\",\n";
+  out << "  \"array\": \"" << util::json_escape(report.cfg.to_string())
+      << "\",\n";
+  out << "  \"dataflow\": \"" << systolic::dataflow_name(report.cfg.dataflow)
+      << "\",\n";
+  out << "  \"dram_bytes_per_cycle\": "
+      << util::fixed(report.mem.dram_bytes_per_cycle, 2) << ",\n";
+  out << "  \"layers\": [";
+  for (std::size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerAttribution& la = report.layers[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << util::json_escape(la.name) << "\", \"class\": \""
+        << operator_class_name(la.op_class) << "\", \"cycles\": "
+        << la.cycles << ", ";
+    write_split_fields(out, la.split);
+    out << ", \"mac_ops\": " << la.mac_ops << ", \"folds\": " << la.folds
+        << ", \"pe_busy\": " << la.pe_busy
+        << ", \"pe_idle_geometry\": " << la.pe_idle_geometry
+        << ", \"pe_idle_fill_drain\": " << la.pe_idle_fill_drain
+        << ", \"dram_bytes\": " << la.dram_bytes
+        << ", \"memory_cycles\": " << la.memory_cycles
+        << ", \"occupancy\": " << util::fixed(la.occupancy(), 6)
+        << ", \"operational_intensity\": "
+        << util::fixed(la.operational_intensity(), 4)
+        << ", \"cycles_per_mac\": " << util::fixed(la.cycles_per_mac(), 6)
+        << "}";
+  }
+  out << (report.layers.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"units\": [";
+  for (std::size_t i = 0; i < report.units.size(); ++i) {
+    const UnitAttribution& unit = report.units[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << util::json_escape(unit.name) << "\", \"fused\": "
+        << (unit.fused ? "true" : "false")
+        << ", \"compute_cycles\": " << unit.compute_cycles
+        << ", \"memory_cycles\": " << unit.memory_cycles
+        << ", \"dram_stall_cycles\": " << unit.dram_stall_cycles
+        << ", \"bound_cycles\": " << unit.bound_cycles
+        << ", \"dram_bytes\": " << unit.dram_bytes << ", \"memory_bound\": "
+        << (unit.memory_bound ? "true" : "false") << "}";
+  }
+  out << (report.units.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"totals\": {\"cycles\": " << report.total_cycles << ", ";
+  write_split_fields(out, report.total_split);
+  out << ", \"dram_stall_cycles\": " << report.total_dram_stall
+      << ", \"bound_cycles\": " << report.bound_cycles
+      << ", \"pe_busy\": " << report.pe_busy
+      << ", \"pe_idle_geometry\": " << report.pe_idle_geometry
+      << ", \"pe_idle_fill_drain\": " << report.pe_idle_fill_drain
+      << ", \"occupancy\": " << util::fixed(report.occupancy(), 6)
+      << "},\n";
+  out << "  \"by_class\": {";
+  for (int cls = 0; cls < 5; ++cls) {
+    out << (cls == 0 ? "\n" : ",\n") << "    \""
+        << operator_class_name(static_cast<OperatorClass>(cls)) << "\": {";
+    write_split_fields(out, report.by_class[cls]);
+    out << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+void write_attribution_json_file(const std::string& path,
+                                 const AttributionReport& report) {
+  std::ofstream out(path);
+  FUSE_CHECK(out.good()) << "cannot open attribution output file " << path;
+  write_attribution_json(out, report);
+}
+
+}  // namespace fuse::sched

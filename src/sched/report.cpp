@@ -1,9 +1,11 @@
 #include "sched/report.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "sched/sweep.hpp"
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace fuse::sched {
 
@@ -60,6 +62,92 @@ std::vector<ScalingPoint> scaling_sweep(
     NetworkId id, NetworkVariant variant,
     const std::vector<std::int64_t>& sizes) {
   return default_sweep_engine().scaling_sweep(id, variant, sizes);
+}
+
+namespace {
+
+std::string percent_of(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? "-"
+                    : util::fixed(100.0 * static_cast<double>(part) /
+                                      static_cast<double>(whole),
+                                  1) + "%";
+}
+
+}  // namespace
+
+util::TablePrinter attribution_layer_table(const AttributionReport& report,
+                                           std::size_t top_n) {
+  util::TablePrinter table({"layer", "class", "cycles", "compute",
+                            "fill/drain", "occupancy", "macs/byte",
+                            "cy/mac"});
+  std::vector<const LayerAttribution*> rows;
+  rows.reserve(report.layers.size());
+  for (const LayerAttribution& la : report.layers) {
+    rows.push_back(&la);
+  }
+  if (top_n > 0 && top_n < rows.size()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const LayerAttribution* a, const LayerAttribution* b) {
+                       return a->cycles > b->cycles;
+                     });
+    rows.resize(top_n);
+  }
+  for (const LayerAttribution* la : rows) {
+    table.add_row({la->name, operator_class_name(la->op_class),
+                   std::to_string(la->cycles),
+                   percent_of(la->split.compute, la->cycles),
+                   percent_of(la->split.fill_drain, la->cycles),
+                   util::fixed(la->occupancy(), 3),
+                   util::fixed(la->operational_intensity(), 2),
+                   util::fixed(la->cycles_per_mac(), 4)});
+  }
+  table.add_separator();
+  table.add_row({"total", "", std::to_string(report.total_cycles),
+                 percent_of(report.total_split.compute, report.total_cycles),
+                 percent_of(report.total_split.fill_drain,
+                            report.total_cycles),
+                 util::fixed(report.occupancy(), 3), "", ""});
+  return table;
+}
+
+util::TablePrinter attribution_class_table(const AttributionReport& report) {
+  util::TablePrinter table(
+      {"class", "cycles", "share", "compute", "fill/drain"});
+  for (int cls = 0; cls < 5; ++cls) {
+    const CycleSplit& split = report.by_class[cls];
+    if (split.total() == 0) {
+      continue;
+    }
+    table.add_row({operator_class_name(static_cast<OperatorClass>(cls)),
+                   std::to_string(split.total()),
+                   percent_of(split.total(), report.total_cycles),
+                   percent_of(split.compute, split.total()),
+                   percent_of(split.fill_drain, split.total())});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(report.total_cycles), "100.0%",
+                 percent_of(report.total_split.compute, report.total_cycles),
+                 percent_of(report.total_split.fill_drain,
+                            report.total_cycles)});
+  return table;
+}
+
+util::TablePrinter attribution_unit_table(const AttributionReport& report) {
+  util::TablePrinter table({"unit", "compute", "memory", "dram stall",
+                            "bound", "dram bytes", "bound by"});
+  for (const UnitAttribution& unit : report.units) {
+    table.add_row({unit.name, std::to_string(unit.compute_cycles),
+                   std::to_string(unit.memory_cycles),
+                   std::to_string(unit.dram_stall_cycles),
+                   std::to_string(unit.bound_cycles),
+                   util::format_bytes(unit.dram_bytes),
+                   unit.memory_bound ? "memory" : "compute"});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(report.total_cycles), "",
+                 std::to_string(report.total_dram_stall),
+                 std::to_string(report.bound_cycles), "", ""});
+  return table;
 }
 
 }  // namespace fuse::sched

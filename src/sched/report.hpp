@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "sched/attribution.hpp"
 #include "sched/latency.hpp"
+#include "util/table.hpp"
 
 namespace fuse::sched {
 
@@ -50,5 +52,21 @@ struct ScalingPoint {
 };
 std::vector<ScalingPoint> scaling_sweep(NetworkId id, NetworkVariant variant,
                                         const std::vector<std::int64_t>& sizes);
+
+/// Per-layer attribution table: one row per on-array layer (cycles split
+/// into compute vs fill/drain, PE occupancy, roofline point), a separator,
+/// then the network totals row. `top_n` > 0 keeps only the top_n layers by
+/// cycles (the totals row still covers everything).
+util::TablePrinter attribution_layer_table(const AttributionReport& report,
+                                           std::size_t top_n = 0);
+
+/// Attributed cycles per operator class (the paper's Fig. 8(c) axis),
+/// with compute/fill-drain shares — the "depthwise wastes the array"
+/// argument as a table.
+util::TablePrinter attribution_class_table(const AttributionReport& report);
+
+/// Roofline scheduling units: compute vs memory cycles, the DRAM stall
+/// each unit adds on top of its compute time, and the bound.
+util::TablePrinter attribution_unit_table(const AttributionReport& report);
 
 }  // namespace fuse::sched

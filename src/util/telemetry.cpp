@@ -1,11 +1,14 @@
 #include "util/telemetry.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <fstream>
 #include <ostream>
 
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace fuse::util {
 
@@ -153,10 +156,144 @@ void MetricsRegistry::reset() {
   }
 }
 
+namespace {
+
+std::atomic<ProfileCollector*> g_profile_collector{nullptr};
+
+// Per-thread stack of child-time accumulators: the top entry sums the
+// wall time of spans nested inside the current span on this thread, which
+// is exactly what the parent subtracts to get its self time. Spans are
+// strict-LIFO RAII objects, so the stack discipline holds by construction.
+thread_local std::vector<std::uint64_t> t_span_child_ns;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ProfileCollector* global_profile_collector() {
+  return g_profile_collector.load(std::memory_order_acquire);
+}
+
+void set_global_profile_collector(ProfileCollector* collector) {
+  g_profile_collector.store(collector, std::memory_order_release);
+}
+
+void ProfileCollector::record(const char* name, std::uint64_t total_us,
+                              std::uint64_t self_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_[name];
+  series.samples.push_back(total_us);
+  series.self_us += self_us;
+}
+
+double ProfileCollector::percentile(
+    const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  FUSE_CHECK(q >= 0.0 && q <= 1.0) << "percentile q=" << q;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const double low = static_cast<double>(sorted[lo]);
+  if (frac == 0.0 || lo + 1 == sorted.size()) {
+    return low;
+  }
+  return low + frac * (static_cast<double>(sorted[lo + 1]) - low);
+}
+
+std::vector<ProfileCollector::TimerStats> ProfileCollector::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TimerStats> result;
+  result.reserve(series_.size());
+  for (const auto& [name, series] : series_) {
+    TimerStats stats;
+    stats.name = name;
+    stats.count = series.samples.size();
+    stats.self_us = series.self_us;
+    std::vector<std::uint64_t> sorted = series.samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (const std::uint64_t sample : sorted) {
+      stats.total_us += sample;
+    }
+    if (!sorted.empty()) {
+      stats.min_us = sorted.front();
+      stats.max_us = sorted.back();
+    }
+    stats.p50_us = percentile(sorted, 0.50);
+    stats.p90_us = percentile(sorted, 0.90);
+    stats.p99_us = percentile(sorted, 0.99);
+    result.push_back(std::move(stats));
+  }
+  return result;
+}
+
+void ProfileCollector::write_json(std::ostream& out) const {
+  const std::vector<TimerStats> timers = snapshot();
+  out << "{\n  \"schema\": 1,\n  \"timers\": {";
+  bool first = true;
+  for (const TimerStats& stats : timers) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(stats.name)
+        << "\": {\"count\": " << stats.count
+        << ", \"total_us\": " << stats.total_us
+        << ", \"self_us\": " << stats.self_us
+        << ", \"min_us\": " << stats.min_us
+        << ", \"max_us\": " << stats.max_us
+        << ", \"p50_us\": " << fixed(stats.p50_us, 1)
+        << ", \"p90_us\": " << fixed(stats.p90_us, 1)
+        << ", \"p99_us\": " << fixed(stats.p99_us, 1) << ", \"buckets\": [";
+    // log2 bucketization of the exact samples, Histogram's boundaries.
+    std::uint64_t buckets[Histogram::kBuckets] = {};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const std::uint64_t sample : series_.at(stats.name).samples) {
+        ++buckets[Histogram::bucket_index(sample)];
+      }
+    }
+    bool first_bucket = true;
+    for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+      if (buckets[bucket] == 0) {
+        continue;
+      }
+      out << (first_bucket ? "" : ", ") << '['
+          << Histogram::bucket_lower_bound(bucket) << ", "
+          << buckets[bucket] << ']';
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void ProfileCollector::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  FUSE_CHECK(out.good()) << "cannot open profile output file " << path;
+  write_json(out);
+}
+
+void ProfileCollector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+}
+
 ScopedSpan::ScopedSpan(const char* name, const char* category)
-    : sink_(global_trace_sink()), name_(name), category_(category) {
+    : sink_(global_trace_sink()),
+      collector_(global_profile_collector()),
+      name_(name),
+      category_(category) {
   if (sink_ != nullptr) {
     start_us_ = sink_->now_us();
+  }
+  if (collector_ != nullptr) {
+    prof_start_ns_ = steady_now_ns();
+    t_span_child_ns.push_back(0);
   }
 }
 
@@ -165,6 +302,17 @@ ScopedSpan::~ScopedSpan() {
     sink_->complete_event(name_, category_, start_us_,
                           sink_->now_us() - start_us_,
                           telemetry_thread_id(), std::move(args_));
+  }
+  if (collector_ != nullptr) {
+    const std::uint64_t duration_ns = steady_now_ns() - prof_start_ns_;
+    const std::uint64_t child_ns = t_span_child_ns.back();
+    t_span_child_ns.pop_back();
+    if (!t_span_child_ns.empty()) {
+      t_span_child_ns.back() += duration_ns;
+    }
+    const std::uint64_t self_ns =
+        duration_ns > child_ns ? duration_ns - child_ns : 0;
+    collector_->record(name_, duration_ns / 1000, self_ns / 1000);
   }
 }
 
@@ -185,6 +333,16 @@ void ScopedSpan::annotate(const char* key, std::uint64_t value) {
 void MetricsRegistry::write_json(std::ostream& out) const {
   out << "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": "
          "{}\n}\n";
+}
+
+void ProfileCollector::write_json(std::ostream& out) const {
+  out << "{\n  \"schema\": 1,\n  \"timers\": {}\n}\n";
+}
+
+void ProfileCollector::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  FUSE_CHECK(out.good()) << "cannot open profile output file " << path;
+  write_json(out);
 }
 
 #endif  // FUSE_TELEMETRY

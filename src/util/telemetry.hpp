@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #ifndef FUSE_TELEMETRY
 #define FUSE_TELEMETRY 1
@@ -139,10 +140,70 @@ class MetricsRegistry {
 /// The process-wide registry every instrumentation site reports into.
 MetricsRegistry& metrics();
 
+/// Wall-clock duration statistics over named spans. ScopedSpan feeds the
+/// globally attached collector (like the TraceSink, attachment is opt-in
+/// — benches wire it to --profile-json); each span contributes one sample
+/// of its total wall time plus its SELF time (total minus the time spent
+/// inside nested spans on the same thread, tracked via a thread-local
+/// span stack). Samples are stored exactly, so the percentile summaries
+/// are exact order statistics with linear interpolation — not the log2
+/// approximation of Histogram.
+class ProfileCollector {
+ public:
+  struct TimerStats {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;  // sum of span wall times (children incl.)
+    std::uint64_t self_us = 0;   // sum excluding nested-span time
+    std::uint64_t min_us = 0;
+    std::uint64_t max_us = 0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  /// One finished span. Thread-safe; called by ~ScopedSpan.
+  void record(const char* name, std::uint64_t total_us,
+              std::uint64_t self_us);
+
+  /// Per-name summaries, sorted by name.
+  std::vector<TimerStats> snapshot() const;
+
+  /// {"schema": 1, "timers": {name: {count, total_us, self_us, min_us,
+  /// max_us, p50_us, p90_us, p99_us, buckets: [[lb, n], ...]}, ...}} —
+  /// buckets use Histogram's log2 boundaries for plotting.
+  void write_json(std::ostream& out) const;
+  void write_json_file(const std::string& path) const;
+
+  void reset();
+
+  /// Exact percentile of an ascending-sorted sample vector: rank
+  /// q * (n - 1), linearly interpolated between the surrounding samples.
+  /// 0 samples -> 0; 1 sample -> that sample. q in [0, 1].
+  static double percentile(const std::vector<std::uint64_t>& sorted,
+                           double q);
+
+ private:
+  struct Series {
+    std::vector<std::uint64_t> samples;  // total wall us, arrival order
+    std::uint64_t self_us = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+};
+
+/// The attached collector, or nullptr. Same contract as the trace sink:
+/// attach before spawning instrumented work, detach before destroying.
+ProfileCollector* global_profile_collector();
+void set_global_profile_collector(ProfileCollector* collector);
+
 /// RAII runtime span: records [construction, destruction) as a trace_event
 /// complete span ("ph":"X") in wall microseconds on the calling thread's
-/// track — IF a global TraceSink is attached; otherwise both ends are
-/// no-ops. `name`/`category` must outlive the span (string literals).
+/// track — IF a global TraceSink is attached — and as one duration sample
+/// in the globally attached ProfileCollector, if any. With neither
+/// attached, constructing one is two atomic loads and nothing else.
+/// `name`/`category` must outlive the span (string literals).
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category = "sweep");
@@ -151,18 +212,22 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  bool active() const { return sink_ != nullptr; }
+  bool active() const {
+    return sink_ != nullptr || collector_ != nullptr;
+  }
 
   /// Attaches a string / numeric arg shown in the viewer's detail pane.
-  /// No-ops (arguments not evaluated further) when inactive.
+  /// No-ops (arguments not evaluated further) when no sink is attached.
   void annotate(const char* key, std::string value);
   void annotate(const char* key, std::uint64_t value);
 
  private:
   TraceSink* sink_;
+  ProfileCollector* collector_;
   const char* name_;
   const char* category_;
-  std::uint64_t start_us_ = 0;
+  std::uint64_t start_us_ = 0;       // sink clock (sink attached)
+  std::uint64_t prof_start_ns_ = 0;  // steady_clock (collector attached)
   std::vector<TraceArg> args_;
 };
 
@@ -220,6 +285,33 @@ class MetricsRegistry {
 };
 
 MetricsRegistry& metrics();
+
+class ProfileCollector {
+ public:
+  struct TimerStats {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t self_us = 0;
+    std::uint64_t min_us = 0;
+    std::uint64_t max_us = 0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  void record(const char*, std::uint64_t, std::uint64_t) {}
+  std::vector<TimerStats> snapshot() const { return {}; }
+  void write_json(std::ostream& out) const;
+  void write_json_file(const std::string& path) const;
+  void reset() {}
+  static double percentile(const std::vector<std::uint64_t>&, double) {
+    return 0.0;
+  }
+};
+
+inline ProfileCollector* global_profile_collector() { return nullptr; }
+inline void set_global_profile_collector(ProfileCollector*) {}
 
 class ScopedSpan {
  public:

@@ -431,6 +431,117 @@ TEST(Telemetry, KernelCountersPinnedToForcedIsa) {
   nn::set_kernel_backend(saved_backend);
 }
 
+TEST(Telemetry, HistogramObserveAtPowerOfTwoBoundaries) {
+  if (!util::telemetry_enabled()) GTEST_SKIP() << "FUSE_TELEMETRY off";
+  using util::Histogram;
+  Histogram h;
+  // A value exactly at a bucket's lower bound lands in THAT bucket
+  // (buckets are [2^(i-1), 2^i), half-open on the right).
+  for (int exp = 0; exp < 20; ++exp) {
+    h.observe(1ULL << exp);
+  }
+  for (int exp = 0; exp < 20; ++exp) {
+    EXPECT_EQ(h.bucket_count(exp + 1), 1u) << "2^" << exp;
+  }
+  // One below the boundary stays in the previous bucket.
+  Histogram below;
+  below.observe((1ULL << 10) - 1);  // 1023
+  EXPECT_EQ(below.bucket_count(10), 1u);
+  EXPECT_EQ(below.bucket_count(11), 0u);
+  below.observe(1ULL << 10);  // 1024 crosses
+  EXPECT_EQ(below.bucket_count(11), 1u);
+  EXPECT_EQ(below.count(), 2u);
+  EXPECT_EQ(below.sum(), 1023u + 1024u);
+}
+
+TEST(Telemetry, PercentileZeroAndOneSample) {
+  if (!util::telemetry_enabled()) GTEST_SKIP() << "FUSE_TELEMETRY off";
+  using util::ProfileCollector;
+  const std::vector<std::uint64_t> empty;
+  EXPECT_EQ(ProfileCollector::percentile(empty, 0.50), 0.0);
+  EXPECT_EQ(ProfileCollector::percentile(empty, 0.99), 0.0);
+  const std::vector<std::uint64_t> one{42};
+  EXPECT_EQ(ProfileCollector::percentile(one, 0.0), 42.0);
+  EXPECT_EQ(ProfileCollector::percentile(one, 0.50), 42.0);
+  EXPECT_EQ(ProfileCollector::percentile(one, 1.0), 42.0);
+}
+
+TEST(Telemetry, PercentileLinearInterpolation) {
+  if (!util::telemetry_enabled()) GTEST_SKIP() << "FUSE_TELEMETRY off";
+  using util::ProfileCollector;
+  const std::vector<std::uint64_t> two{10, 20};
+  EXPECT_DOUBLE_EQ(ProfileCollector::percentile(two, 0.50), 15.0);
+  EXPECT_DOUBLE_EQ(ProfileCollector::percentile(two, 0.90), 19.0);
+  EXPECT_DOUBLE_EQ(ProfileCollector::percentile(two, 1.0), 20.0);
+  const std::vector<std::uint64_t> five{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(ProfileCollector::percentile(five, 0.50), 20.0);
+  EXPECT_DOUBLE_EQ(ProfileCollector::percentile(five, 0.25), 10.0);
+  // rank 0.9 * 4 = 3.6 -> 30 + 0.6 * 10
+  EXPECT_DOUBLE_EQ(ProfileCollector::percentile(five, 0.90), 36.0);
+}
+
+TEST(Telemetry, ProfileCollectorSelfVsChildTime) {
+  if (!util::telemetry_enabled()) GTEST_SKIP() << "FUSE_TELEMETRY off";
+  util::ProfileCollector collector;
+  util::set_global_profile_collector(&collector);
+  {
+    util::ScopedSpan outer("test.prof.outer");
+    EXPECT_TRUE(outer.active());
+    { util::ScopedSpan inner("test.prof.inner"); }
+    { util::ScopedSpan inner("test.prof.inner"); }
+  }
+  util::set_global_profile_collector(nullptr);
+  { util::ScopedSpan orphan("test.prof.after"); }  // not recorded
+
+  const auto timers = collector.snapshot();
+  ASSERT_EQ(timers.size(), 2u);
+  EXPECT_EQ(timers[0].name, "test.prof.inner");
+  EXPECT_EQ(timers[0].count, 2u);
+  EXPECT_EQ(timers[1].name, "test.prof.outer");
+  EXPECT_EQ(timers[1].count, 1u);
+  // The parent's self time excludes the nested spans' wall time.
+  EXPECT_LE(timers[1].self_us,
+            timers[1].total_us);
+  // Leaf spans have self == total.
+  EXPECT_EQ(timers[0].self_us, timers[0].total_us);
+  EXPECT_LE(timers[0].min_us, timers[0].max_us);
+  EXPECT_GE(timers[0].p99_us, timers[0].p50_us);
+
+  std::ostringstream out;
+  collector.write_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("\"test.prof.outer\""), std::string::npos);
+  EXPECT_EQ(json.find("\"test.prof.after\""), std::string::npos);
+}
+
+TEST(Telemetry, TraceSinkJsonStringEscaping) {
+  if (!util::telemetry_enabled()) GTEST_SKIP() << "FUSE_TELEMETRY off";
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("quote\"backslash\\"),
+            "quote\\\"backslash\\\\");
+  EXPECT_EQ(util::json_escape("tab\tnewline\ncr\r"),
+            "tab\\tnewline\\ncr\\r");
+  EXPECT_EQ(util::json_escape(std::string("nul\0byte", 8)),
+            "nul\\u0000byte");
+  EXPECT_EQ(util::json_escape("\x01\x1f"), "\\u0001\\u001f");
+
+  // End-to-end: a span annotation with every escape class survives the
+  // sink as parseable JSON containing the escaped form.
+  util::TraceSink sink;
+  util::set_global_trace_sink(&sink);
+  {
+    util::ScopedSpan span("test.escape");
+    span.annotate("payload", std::string("a\"b\\c\nd"));
+  }
+  util::set_global_trace_sink(nullptr);
+  std::ostringstream out;
+  sink.write_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
 TEST(Strings, FormatBytesUsesBinaryUnits) {
   EXPECT_EQ(util::format_bytes(0), "0 B");
   EXPECT_EQ(util::format_bytes(512), "512 B");

@@ -36,7 +36,16 @@
 #      every golden bench's stdout must be byte-identical between a
 #      flag-less run and an explicit --sched-mode=per-layer run,
 #  10. telemetry export: profile_network's trace/stats JSON must parse,
-#      in both the default per-layer view and the fused-schedule view.
+#      in both the default per-layer view and the fused-schedule view —
+#      and with --attribution-json the cycle-attribution report must
+#      parse and its components must sum back to the totals,
+#  11. perf-regression lab: fresh bench_fusion/bench_sim JSON artifacts
+#      go through tools/bench_compare.py against the committed
+#      results/BENCH_*.json baselines (deterministic metrics — cycles,
+#      MACs, bytes, roofline bounds — must reproduce exactly on any
+#      machine; wall-clock metrics only warn), a deliberately perturbed
+#      copy must make the gate exit nonzero, and a record_bench.sh
+#      ledger entry must round-trip through the same comparator.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        [release-build-dir]
@@ -57,13 +66,13 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/10] default build + full test suite ==="
+echo "=== [1/11] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/10] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/11] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
                    test_telemetry test_kernels test_systolic_sim
                    test_netplan)
@@ -76,7 +85,7 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/10] AddressSanitizer build + mapping/executor suites ==="
+echo "=== [3/11] AddressSanitizer build + mapping/executor suites ==="
 ASAN_TESTS=(test_mapping test_execute test_systolic_sim test_netplan)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -87,7 +96,7 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/10] Release -O3 build: kernel differential suite + bench smoke ==="
+echo "=== [4/11] Release -O3 build: kernel differential suite + bench smoke ==="
 cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
 echo "--- test_kernels (Release) ---"
@@ -97,7 +106,7 @@ echo "--- bench_kernels smoke (Release) ---"
 echo "bench_kernels smoke: ok"
 
 echo
-echo "=== [5/10] forced-ISA matrix: differential suite + bench CSV tolerance ==="
+echo "=== [5/11] forced-ISA matrix: differential suite + bench CSV tolerance ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 # The differential suite under each forced ISA. Under =scalar the float
@@ -151,7 +160,7 @@ print(f"{len(names)} files agree between --kernel-isa=scalar and =auto")
 EOF
 
 echo
-echo "=== [6/10] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [6/11] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
@@ -171,7 +180,7 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [7/10] backend equality: --kernel-backend=fast vs reference ==="
+echo "=== [7/11] backend equality: --kernel-backend=fast vs reference ==="
 # Every golden-producing bench (all of bench/ except the google-benchmark
 # micro-bench, whose output is wall time). Each runs with --csv where
 # supported, in a per-backend scratch dir; stdout and every CSV written
@@ -220,7 +229,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [8/10] sim backend equality: --sim-backend=fast vs reference ==="
+echo "=== [8/11] sim backend equality: --sim-backend=fast vs reference ==="
 # The simulator-driven examples must print byte-identical stdout under
 # either engine (the fast engine is bit-exact, cycles included). The
 # second fast leg also pins --sim-threads=4: fold-parallel execution may
@@ -247,7 +256,7 @@ done
 echo "bench_sim bit-exactness smoke: ok"
 
 echo
-echo "=== [9/10] schedule equality: default vs --sched-mode=per-layer ==="
+echo "=== [9/11] schedule equality: default vs --sched-mode=per-layer ==="
 # The fused network schedule is strictly opt-in: with no flag, every
 # bench must print exactly what an explicit --sched-mode=per-layer run
 # prints (bench_ria_analysis takes no CLI flags, so its per-layer leg
@@ -277,16 +286,18 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [10/10] telemetry export: profile_network JSON validity ==="
+echo "=== [10/11] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"
 # The fused-schedule view exports through the same sink and must also
-# produce valid JSON (segment spans, SRAM counter track, prefetch spans).
+# produce valid JSON (segment spans, SRAM counter track, prefetch spans),
+# plus the cycle-attribution report and its counter track.
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --sched-mode=fused \
   --trace-json "$TELEMETRY_TMP/profile.fused.json" \
-  --stats-json "$TELEMETRY_TMP/profile.fused.stats.json"
+  --stats-json "$TELEMETRY_TMP/profile.fused.stats.json" \
+  --attribution-json "$TELEMETRY_TMP/profile.attribution.json"
 python3 - "$TELEMETRY_TMP" <<'EOF'
 import glob, json, os, sys
 tmp = sys.argv[1]
@@ -298,8 +309,61 @@ for path in paths:
     if os.path.basename(path).endswith(
             ("trace.json", "profile.json", "profile.fused.json")):
         assert doc["traceEvents"], f"{path}: empty traceEvents"
-print(f"{len(paths)} telemetry JSON files parsed")
+# The attribution decomposition must sum back to its own totals, layer
+# by layer and across the whole network (the binary FUSE_CHECKs the
+# deeper identities; this re-checks the exported JSON independently).
+with open(os.path.join(tmp, "profile.attribution.json")) as f:
+    attr = json.load(f)
+totals = attr["totals"]
+assert sum(l["cycles"] for l in attr["layers"]) == totals["cycles"]
+for l in attr["layers"]:
+    assert l["compute_cycles"] + l["fill_drain_cycles"] == l["cycles"], \
+        f"layer {l['name']}: split does not sum"
+assert totals["compute_cycles"] + totals["fill_drain_cycles"] \
+    == totals["cycles"]
+assert totals["cycles"] + totals["dram_stall_cycles"] \
+    == totals["bound_cycles"]
+print(f"{len(paths)} telemetry JSON files parsed; attribution sums check")
 EOF
+
+echo
+echo "=== [11/11] perf-regression lab: bench_compare vs committed baselines ==="
+# Fresh machine-readable artifacts from the two deterministic-core
+# benches, diffed against the committed baselines. Cycle counts, MAC and
+# byte totals, and roofline bounds are model outputs and must reproduce
+# exactly on any machine; the wall-clock columns (bench_sim's *_ms and
+# speedups) were recorded elsewhere and only warn.
+"$BUILD_DIR/bench/bench_fusion" --json="$TELEMETRY_TMP/BENCH_fusion.json" \
+  > /dev/null
+"$BUILD_DIR/bench/bench_sim" --json="$TELEMETRY_TMP/BENCH_sim.json" \
+  > /dev/null
+python3 tools/bench_compare.py results/BENCH_fusion.json \
+  "$TELEMETRY_TMP/BENCH_fusion.json"
+python3 tools/bench_compare.py results/BENCH_sim.json \
+  "$TELEMETRY_TMP/BENCH_sim.json"
+# The gate must actually gate: a single perturbed deterministic metric
+# has to turn into a nonzero exit.
+python3 - "$TELEMETRY_TMP" <<'EOF'
+import json, os, sys
+tmp = sys.argv[1]
+with open(os.path.join(tmp, "BENCH_fusion.json")) as f:
+    doc = json.load(f)
+doc["rows"][0]["compute_cycles"] += 1
+with open(os.path.join(tmp, "BENCH_fusion.perturbed.json"), "w") as f:
+    json.dump(doc, f)
+EOF
+if python3 tools/bench_compare.py results/BENCH_fusion.json \
+     "$TELEMETRY_TMP/BENCH_fusion.perturbed.json" --quiet; then
+  echo "bench_compare FAILED to flag a perturbed baseline" >&2
+  exit 1
+fi
+echo "bench_compare: perturbed artifact correctly rejected"
+# History ledger round-trip: a record_bench.sh entry in a scratch ledger
+# must compare clean against the raw artifact it wraps.
+FUSE_HISTORY_DIR="$TELEMETRY_TMP/history" tools/record_bench.sh \
+  "$TELEMETRY_TMP/BENCH_fusion.json"
+python3 tools/bench_compare.py "$TELEMETRY_TMP/history/BENCH_fusion.jsonl" \
+  "$TELEMETRY_TMP/BENCH_fusion.json" --quiet
 
 echo
 echo "all checks passed"

@@ -2,6 +2,14 @@
 # Rebuilds everything, runs the full test suite, then regenerates every
 # table/figure with CSV output into results/.
 #
+# The manifest of legitimate outputs is bench/*.cpp: only binaries with
+# a matching source may run (a stale binary in the build dir — e.g. a
+# renamed or deleted bench — would otherwise silently emit orphan
+# artifacts), and after the run every file in results/ (history/ ledger
+# aside) must have been rewritten by this run. Anything else — editor
+# droppings, build-system strays, outputs of deleted benches — fails
+# the script with a listing instead of riding along into a commit.
+#
 # Usage: tools/regenerate_results.sh [build-dir]
 set -euo pipefail
 
@@ -15,10 +23,18 @@ cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 mkdir -p "$RESULTS_DIR"
+STAMP="$(mktemp "$RESULTS_DIR/.regen_stamp.XXXXXX")"
+trap 'rm -f "$STAMP"' EXIT
+
 cd "$RESULTS_DIR"
 for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue  # skip cmake artifacts
   name="$(basename "$bench")"
+  if [ ! -f "$REPO_ROOT/bench/$name.cpp" ]; then
+    echo "ERROR: $name has no bench/$name.cpp source — stale binary in" \
+         "$BUILD_DIR; refusing to emit unmanifested results" >&2
+    exit 1
+  fi
   echo "=== $name ==="
   # bench_kernels (google-benchmark) and bench_ria_analysis take no --csv.
   if [ "$name" = bench_kernels ]; then
@@ -41,5 +57,17 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   fi
   echo
 done
+
+# Manifest sweep: every file here must be fresher than the run stamp.
+# results/history/ is the append-only perf ledger (tools/record_bench.sh)
+# and is exempt — benches never write it.
+mapfile -t strays < <(find "$RESULTS_DIR" -maxdepth 1 -type f \
+  ! -newer "$STAMP" ! -name "$(basename "$STAMP")" | sort)
+if [ "${#strays[@]}" -gt 0 ]; then
+  echo "ERROR: results/ contains files no manifest bench regenerated:" >&2
+  printf '  %s\n' "${strays[@]}" >&2
+  echo "delete them (or restore their bench) and re-run" >&2
+  exit 1
+fi
 
 echo "results written to $RESULTS_DIR"
