@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "nn/kernels_isa.hpp"
@@ -55,6 +56,12 @@ int threads_from_env() {
 }
 
 struct PoolState {
+  // Guards lazy pool construction: kernels may be entered from several
+  // threads at once (e.g. serving-engine batch payloads), and the first
+  // callers must not race building the shared pool. Reconfiguration via
+  // set_kernel_threads is still a quiescent-point operation — it rebuilds
+  // the pool out from under any kernel currently running on it.
+  std::mutex mutex;
   int threads = threads_from_env();
   std::unique_ptr<util::ThreadPool> pool;
 };
@@ -717,12 +724,17 @@ const char* kernel_backend_name(KernelBackend backend) {
   return backend == KernelBackend::kFast ? "fast" : "reference";
 }
 
-int kernel_threads() { return pool_state().threads; }
+int kernel_threads() {
+  PoolState& state = pool_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.threads;
+}
 
 void set_kernel_threads(int threads) {
   FUSE_CHECK(threads >= 1)
       << "kernel threads must be >= 1, got " << threads;
   PoolState& state = pool_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
   state.threads = threads;
   // N total threads = N-1 workers + the calling thread (the sweep
   // engine's convention); the pool is rebuilt eagerly so stale workers
@@ -732,6 +744,7 @@ void set_kernel_threads(int threads) {
 
 util::ThreadPool& kernel_pool() {
   PoolState& state = pool_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
   if (state.pool == nullptr) {
     state.pool = std::make_unique<util::ThreadPool>(state.threads - 1);
   }

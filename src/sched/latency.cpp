@@ -1,5 +1,6 @@
 #include "sched/latency.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "sched/latency_cache.hpp"
@@ -77,6 +78,29 @@ std::uint64_t network_latency_batched(const NetworkModel& model,
   std::uint64_t total = 0;
   for (const LayerDesc& layer : model.layers) {
     total += layer_latency_batched(layer, cfg, batch).cycles;
+  }
+  return total;
+}
+
+std::uint64_t layer_bound_batched(const LayerDesc& layer,
+                                  const ArrayConfig& cfg,
+                                  const systolic::MemoryConfig& mem,
+                                  std::int64_t batch) {
+  const systolic::MappingPlan plan =
+      systolic::lower_batched(layer, cfg, batch);
+  const std::uint64_t compute = plan.total_latency().cycles;
+  const std::uint64_t memory =
+      systolic::plan_traffic(plan, cfg, mem).memory_cycles(mem);
+  return std::max(compute, memory);
+}
+
+std::uint64_t network_bound_batched(const NetworkModel& model,
+                                    const ArrayConfig& cfg,
+                                    const systolic::MemoryConfig& mem,
+                                    std::int64_t batch) {
+  std::uint64_t total = 0;
+  for (const LayerDesc& layer : model.layers) {
+    total += layer_bound_batched(layer, cfg, mem, batch);
   }
   return total;
 }

@@ -62,6 +62,24 @@ std::uint64_t network_latency_batched(const NetworkModel& model,
                                       const ArrayConfig& cfg,
                                       std::int64_t batch);
 
+/// Roofline-bounded batched layer cost: max(compute, memory) cycles for
+/// the whole batch. Batching amortizes weight traffic (weights stream in
+/// once per batch, not once per image) and fill/drain overhead, which is
+/// what makes dynamic batching pay off in the serving engine (src/serve)
+/// — especially at small resolutions where weights dominate the traffic.
+std::uint64_t layer_bound_batched(const LayerDesc& layer,
+                                  const ArrayConfig& cfg,
+                                  const systolic::MemoryConfig& mem,
+                                  std::int64_t batch);
+
+/// Whole-network batched roofline bound: sum over layers of
+/// layer_bound_batched. At batch 1 this matches the per-layer
+/// network_roofline bound (same lowering, same traffic model).
+std::uint64_t network_bound_batched(const NetworkModel& model,
+                                    const ArrayConfig& cfg,
+                                    const systolic::MemoryConfig& mem,
+                                    std::int64_t batch);
+
 /// Whole-network latency with the per-layer breakdown preserved.
 struct NetworkLatency {
   std::uint64_t total_cycles = 0;

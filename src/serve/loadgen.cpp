@@ -1,0 +1,132 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fuse::serve {
+
+std::vector<TraceEntry> make_open_loop_trace(
+    std::int64_t count, std::uint64_t mean_gap,
+    const std::vector<TraceShape>& shapes, std::uint64_t seed,
+    std::uint64_t start_cycle) {
+  FUSE_CHECK(count >= 0) << "trace count must be >= 0, got " << count;
+  FUSE_CHECK(!shapes.empty()) << "trace needs at least one shape";
+  std::uint64_t total_weight = 0;
+  for (const TraceShape& shape : shapes) {
+    FUSE_CHECK(shape.weight >= 1)
+        << "trace shape weight must be >= 1, got " << shape.weight;
+    total_weight += static_cast<std::uint64_t>(shape.weight);
+  }
+  util::Rng rng(seed);
+  std::vector<TraceEntry> trace;
+  trace.reserve(static_cast<std::size_t>(count));
+  std::uint64_t cycle = start_cycle;
+  for (std::int64_t i = 0; i < count; ++i) {
+    // Integer gap uniform in [0, 2*mean] — mean = mean_gap, bit-portable
+    // (no libm), unlike an exponential sampled through log().
+    cycle += rng.uniform_index(2 * mean_gap + 1);
+    std::uint64_t draw = rng.uniform_index(total_weight);
+    std::size_t pick = 0;
+    while (draw >= static_cast<std::uint64_t>(shapes[pick].weight)) {
+      draw -= static_cast<std::uint64_t>(shapes[pick].weight);
+      ++pick;
+    }
+    trace.push_back(TraceEntry{cycle, shapes[pick].key,
+                               shapes[pick].batch_hint});
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> replay_trace(
+    ServeEngine& engine, const std::vector<TraceEntry>& trace) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(trace.size());
+  std::uint64_t last = 0;
+  for (const TraceEntry& entry : trace) {
+    FUSE_CHECK(entry.arrival_cycle >= last)
+        << "trace must be sorted by arrival cycle";
+    last = entry.arrival_cycle;
+    ids.push_back(
+        engine.submit(entry.key, entry.batch_hint, entry.arrival_cycle));
+  }
+  return ids;
+}
+
+ClosedLoopResult run_closed_loop(ServeEngine& engine, const ShapeKey& key,
+                                 int batch_hint, int concurrency,
+                                 std::int64_t total) {
+  FUSE_CHECK(concurrency >= 1)
+      << "closed loop needs concurrency >= 1, got " << concurrency;
+  FUSE_CHECK(total >= 1) << "closed loop needs total >= 1, got " << total;
+
+  ClosedLoopResult result;
+  std::vector<std::uint64_t> outstanding;
+  std::int64_t submitted = 0;
+  std::uint64_t watermark = engine.now();  // latest submit cycle
+
+  const auto submit_one = [&](std::uint64_t at) {
+    watermark = std::max(watermark, at);
+    const std::uint64_t id = engine.submit(key, batch_hint, watermark);
+    if (engine.response(id).status == RequestStatus::kRejected) {
+      ++result.rejected;
+    } else {
+      outstanding.push_back(id);
+    }
+    ++submitted;
+  };
+
+  const std::int64_t initial =
+      std::min<std::int64_t>(concurrency, total);
+  for (std::int64_t i = 0; i < initial; ++i) {
+    submit_one(watermark);
+  }
+
+  while (submitted < total || !outstanding.empty()) {
+    if (outstanding.empty()) {
+      submit_one(engine.now());  // every client was shed: restart one
+      continue;
+    }
+    // Step the engine's clock until some outstanding request has a
+    // completion stamp, then reap the earliest (ties to the lowest id).
+    std::size_t best_pos = 0;
+    std::uint64_t best_completion = ServeEngine::kNoEvent;
+    std::uint64_t best_id = 0;
+    while (true) {
+      best_completion = ServeEngine::kNoEvent;
+      for (std::size_t pos = 0; pos < outstanding.size(); ++pos) {
+        const ResponseRecord record = engine.response(outstanding[pos]);
+        if (record.status == RequestStatus::kQueued) {
+          continue;
+        }
+        if (record.completion_cycle < best_completion ||
+            (record.completion_cycle == best_completion &&
+             record.id < best_id)) {
+          best_completion = record.completion_cycle;
+          best_id = record.id;
+          best_pos = pos;
+        }
+      }
+      if (best_completion != ServeEngine::kNoEvent) {
+        break;
+      }
+      const std::uint64_t deadline = engine.next_deadline();
+      FUSE_CHECK(deadline != ServeEngine::kNoEvent)
+          << "closed loop stuck: outstanding requests but no pending event";
+      engine.advance_to(deadline);
+    }
+    outstanding.erase(outstanding.begin() +
+                      static_cast<std::ptrdiff_t>(best_pos));
+    ++result.completed;
+    result.makespan_cycles =
+        std::max(result.makespan_cycles, best_completion);
+    if (submitted < total) {
+      submit_one(best_completion);
+    }
+  }
+  engine.drain();
+  return result;
+}
+
+}  // namespace fuse::serve

@@ -1,0 +1,76 @@
+#include "serve/request.hpp"
+
+#include <string>
+
+namespace fuse::serve {
+
+std::string shape_key_name(const ShapeKey& key) {
+  if (key.custom >= 0) {
+    return "custom#" + std::to_string(key.custom);
+  }
+  return nets::network_name(key.net) + "/" +
+         core::network_variant_name(key.variant) + "@" +
+         std::to_string(key.resolution);
+}
+
+const char* exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kCycle:
+      return "cycle";
+    case ExecMode::kTensor:
+      return "tensor";
+    case ExecMode::kSimulate:
+      return "simulate";
+  }
+  return "?";
+}
+
+bool parse_exec_mode(const std::string& name, ExecMode* out) {
+  if (name == "cycle") {
+    *out = ExecMode::kCycle;
+  } else if (name == "tensor") {
+    *out = ExecMode::kTensor;
+  } else if (name == "simulate" || name == "sim") {
+    *out = ExecMode::kSimulate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* shed_policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNewest:
+      return "reject-newest";
+    case ShedPolicy::kRejectOldest:
+      return "reject-oldest";
+  }
+  return "?";
+}
+
+bool parse_shed_policy(const std::string& name, ShedPolicy* out) {
+  if (name == "reject-newest" || name == "reject_newest") {
+    *out = ShedPolicy::kRejectNewest;
+  } else if (name == "reject-oldest" || name == "reject_oldest") {
+    *out = ShedPolicy::kRejectOldest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* request_status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kDispatched:
+      return "dispatched";
+    case RequestStatus::kCompleted:
+      return "completed";
+    case RequestStatus::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace fuse::serve

@@ -26,7 +26,24 @@ Gauge& queue_depth() {
   return gauge;
 }
 
+// The pool whose work the calling thread is currently executing (nullptr
+// on threads not running pool work). One pointer, not a stack: WorkerScope
+// saves and restores the previous value, so nesting across distinct pools
+// unwinds correctly.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
 }  // namespace
+
+ThreadPool::WorkerScope::WorkerScope(const ThreadPool* pool)
+    : prev_(tls_active_pool) {
+  tls_active_pool = pool;
+}
+
+ThreadPool::WorkerScope::~WorkerScope() { tls_active_pool = prev_; }
+
+bool ThreadPool::on_worker_thread() const {
+  return tls_active_pool == this;
+}
 
 int ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -110,6 +127,7 @@ void ThreadPool::worker_loop(std::size_t id) {
   Task task;
   while (true) {
     if (try_pop(id, task) || try_steal(id, task)) {
+      WorkerScope scope(this);
       task();
       task = nullptr;
       continue;
@@ -139,9 +157,13 @@ void ThreadPool::parallel_for(std::int64_t n,
     span.annotate("n", static_cast<std::uint64_t>(n));
     span.annotate("grain", static_cast<std::uint64_t>(grain));
   }
-  if (workers_.empty() || n <= grain) {
+  if (workers_.empty() || n <= grain || on_worker_thread()) {
     // Same semantics as the pooled path: the first exception is captured,
-    // the remaining iterations still run, then it is rethrown.
+    // the remaining iterations still run, then it is rethrown. Nested
+    // same-pool loops (on_worker_thread()) take this path too: the outer
+    // loop's chunks are the parallelism unit, and re-submitting inner
+    // chunks from a worker would leave them unclaimed while every worker
+    // sits inside an outer chunk of its own.
     std::exception_ptr error;
     for (std::int64_t i = 0; i < n; ++i) {
       try {
@@ -173,7 +195,12 @@ void ThreadPool::parallel_for(std::int64_t n,
   state->grain = grain;
   state->body = &body;  // outlives the loop: the caller blocks below
 
-  auto run_chunks = [state] {
+  auto run_chunks = [this, state] {
+    // Mark the thread as running this pool's work for the chunk bodies:
+    // workers are already marked by worker_loop (re-marking is harmless),
+    // and this extends the guard to the participating caller so its
+    // nested same-pool loops also run inline.
+    WorkerScope scope(this);
     while (true) {
       const std::int64_t begin = state->next.fetch_add(state->grain);
       if (begin >= state->n) {

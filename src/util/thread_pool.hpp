@@ -14,6 +14,16 @@
 //     thread participates, so nested parallel_for from inside a task makes
 //     progress instead of deadlocking (a nested caller drains its own
 //     iteration space itself while waiting).
+//   * Nested parallel_for on the SAME pool — called from inside a
+//     parallel_for chunk or a submit() task running on this pool — runs
+//     entirely inline on the nesting thread. Re-submitting helper chunks
+//     from a worker could otherwise park every worker behind inner loops
+//     whose helpers never get claimed; inline nesting keeps the outer
+//     loop's chunk granularity as the unit of parallelism and makes the
+//     serving engine's batch payloads (src/serve) free to fan out with
+//     parallel_for without reasoning about which thread runs them.
+//     on_worker_thread() exposes the guard for callers that want to
+//     branch explicitly.
 //   * The first exception thrown by a parallel_for body is captured and
 //     rethrown on the calling thread after the loop drains; remaining
 //     iterations still run (sweep tasks are pure, so there is nothing to
@@ -61,7 +71,29 @@ class ThreadPool {
   /// std::thread::hardware_concurrency(), clamped to >= 1.
   static int hardware_threads();
 
+  /// True while the calling thread is executing a task or parallel_for
+  /// chunk that belongs to THIS pool (worker thread, or the caller while
+  /// it participates in one of this pool's loops). parallel_for uses this
+  /// to run nested same-pool loops inline.
+  bool on_worker_thread() const;
+
  private:
+  /// RAII marker: the calling thread is running work owned by `pool`.
+  /// Nesting-depth aware (a worker can re-enter via an inline nested
+  /// loop), thread_local, and scoped to the pool identity so distinct
+  /// pools (e.g. the sweep pool driving a serve engine's pool) never
+  /// shadow each other.
+  class WorkerScope {
+   public:
+    explicit WorkerScope(const ThreadPool* pool);
+    ~WorkerScope();
+    WorkerScope(const WorkerScope&) = delete;
+    WorkerScope& operator=(const WorkerScope&) = delete;
+
+   private:
+    const ThreadPool* prev_;
+  };
+
   struct WorkQueue {
     std::mutex mutex;
     std::deque<Task> tasks;

@@ -13,6 +13,26 @@ numeric metric, and exits nonzero when the candidate regressed:
     warn (use ``--wall-mode=fail`` to gate on them, e.g. when both files
     came from the same machine).
 
+Classification is name-based by default, but an artifact mixing both
+metric families can declare them explicitly with a top-level
+``"metric_families"`` object mapping family names to fnmatch pattern
+lists (first match wins, declaration order)::
+
+    "metric_families": {"exact": ["speedup_vs_b1", "*_cycles"],
+                        "wall_lower_better": ["*_ms"],
+                        "wall_higher_better": ["*_gflops"]}
+
+Families: ``exact`` (gate on any difference), ``wall_lower_better``,
+``wall_higher_better``. A wall family may carry its own tolerance via
+the object form ``{"patterns": [...], "tolerance": 0.1}``; per-family
+tolerances override ``--wall-tolerance`` and are themselves overridden
+by ``--tol METRIC=REL``. Metrics matching no declared pattern fall back
+to the name heuristics. The candidate's declaration wins over the
+baseline's (so renaming a family updates the rules in the same commit).
+This matters for deterministic metrics whose names *look* noisy — e.g.
+bench_serve's cycle-domain ``speedup_vs_b1``, which the heuristic would
+tolerance-compare instead of gating exactly.
+
 Accepted inputs, in either position:
 
   * a raw bench JSON artifact (``results/BENCH_*.json``) — either the
@@ -30,17 +50,26 @@ Usage:
 """
 
 import argparse
+import fnmatch
 import json
 import re
 import sys
 
 HISTORY_SCHEMA = 1
 
-# Wall-clock metric name patterns, by direction. Everything numeric that
-# matches neither is deterministic: the analytic model and the bit-exact
-# simulator must reproduce it exactly on any machine.
+# Wall-clock metric name patterns, by direction — the fallback for
+# metrics no "metric_families" declaration covers. Everything numeric
+# that matches neither is deterministic: the analytic model and the
+# bit-exact simulator must reproduce it exactly on any machine.
 WALL_LOWER_IS_BETTER = re.compile(r"(_ms|_us|_ns|ns_per_op)$")
 WALL_HIGHER_IS_BETTER = re.compile(r"(gflops|speedup)")
+
+# metric_families family name -> (kind, regression direction).
+FAMILY_KINDS = {
+    "exact": ("exact", 0),
+    "wall_lower_better": ("wall", +1),
+    "wall_higher_better": ("wall", -1),
+}
 
 
 def fail(msg):
@@ -120,7 +149,11 @@ def normalize(path, doc):
                 fail(f"{path}: rows[{i}] is not an object")
             add(row_key(row, i), row_metrics(row))
         for key, value in doc.items():
-            if key != "rows" and isinstance(value, dict):
+            # metric_families is classification metadata, not a data row
+            # (its object form carries numeric tolerances).
+            if key in ("rows", "metric_families"):
+                continue
+            if isinstance(value, dict):
                 add(f"<{key}>", row_metrics(value))
     else:
         fail(f"{path}: expected a JSON object or array at top level")
@@ -129,14 +162,53 @@ def normalize(path, doc):
     return rows
 
 
-def classify(metric):
-    """Returns ('wall', direction) or ('exact', 0); direction is the sign
-    of a *regression* (+1 = higher is worse, -1 = lower is worse)."""
+def extract_families(path, doc):
+    """Parses a document's "metric_families" declaration into an ordered
+    [(kind, direction, tolerance, patterns)] list ([] when absent)."""
+    if not isinstance(doc, dict):
+        return []
+    spec = doc.get("metric_families")
+    if spec is None:
+        return []
+    if not isinstance(spec, dict):
+        fail(f"{path}: metric_families must be an object")
+    families = []
+    for name, value in spec.items():
+        if name not in FAMILY_KINDS:
+            fail(f"{path}: unknown metric family '{name}' "
+                 f"(expected one of {', '.join(sorted(FAMILY_KINDS))})")
+        kind, direction = FAMILY_KINDS[name]
+        tolerance = None
+        if isinstance(value, dict):
+            patterns = value.get("patterns", [])
+            tolerance = value.get("tolerance")
+            if tolerance is not None and not is_number(tolerance):
+                fail(f"{path}: metric family '{name}': tolerance must be "
+                     f"a number")
+        else:
+            patterns = value
+        if (not isinstance(patterns, list)
+                or not all(isinstance(p, str) for p in patterns)):
+            fail(f"{path}: metric family '{name}' needs a list of "
+                 f"fnmatch patterns")
+        families.append((kind, direction, tolerance, patterns))
+    return families
+
+
+def classify(metric, families):
+    """Returns (kind, direction, family_tolerance): kind is 'wall' or
+    'exact', direction is the sign of a *regression* (+1 = higher is
+    worse, -1 = lower is worse), family_tolerance is the declared
+    per-family tolerance or None. Declared families win over the name
+    heuristics; within the declaration, first matching pattern wins."""
+    for kind, direction, tolerance, patterns in families:
+        if any(fnmatch.fnmatchcase(metric, p) for p in patterns):
+            return kind, direction, tolerance
     if WALL_LOWER_IS_BETTER.search(metric):
-        return "wall", +1
+        return "wall", +1, None
     if WALL_HIGHER_IS_BETTER.search(metric):
-        return "wall", -1
-    return "exact", 0
+        return "wall", -1, None
+    return "exact", 0, None
 
 
 def rel_delta(base, cand):
@@ -180,10 +252,15 @@ def main():
         except ValueError:
             fail(f"--tol {metric}: '{value}' is not a number")
 
-    base_rows = normalize(args.baseline,
-                          load_document(args.baseline, args.at))
-    cand_rows = normalize(args.candidate,
-                          load_document(args.candidate, args.at))
+    base_doc = load_document(args.baseline, args.at)
+    cand_doc = load_document(args.candidate, args.at)
+    base_rows = normalize(args.baseline, base_doc)
+    cand_rows = normalize(args.candidate, cand_doc)
+    # The candidate's family declaration wins (it reflects the rules the
+    # artifact is written against today); the baseline's covers diffs
+    # against pre-declaration candidates.
+    families = (extract_families(args.candidate, cand_doc)
+                or extract_families(args.baseline, base_doc))
 
     added = [k for k in cand_rows if k not in base_rows]
     removed = [k for k in base_rows if k not in cand_rows]
@@ -203,12 +280,13 @@ def main():
                                     "metric missing from candidate"))
                 continue
             base_v, cand_v = base_m[metric], cand_m[metric]
-            kind, direction = classify(metric)
+            kind, direction, family_tol = classify(metric, families)
             if metric in overrides:
                 kind = "gated"
                 tol = overrides[metric]
             elif kind == "wall":
-                tol = args.wall_tolerance
+                tol = (family_tol if family_tol is not None
+                       else args.wall_tolerance)
             if kind == "exact":
                 exact_checked += 1
                 if base_v != cand_v:

@@ -3,12 +3,14 @@
 #   1. default build + complete test suite,
 #   2. ThreadSanitizer build running the concurrency suites
 #      (test_thread_pool, test_sweep_determinism, test_properties,
-#      test_telemetry, test_kernels, test_systolic_sim, test_netplan —
-#      the middle two cover the fast kernel backend's parallel_for tiling
-#      and the fast simulator's fold-parallel execution; test_netplan
-#      runs the network executor across schedule modes and sim threads),
+#      test_telemetry, test_kernels, test_systolic_sim, test_netplan,
+#      test_serve — the kernel/sim pair covers the fast backends'
+#      parallel execution; test_netplan runs the network executor across
+#      schedule modes and sim threads; test_serve replays the serving
+#      engine's worker-determinism trace at 1/2/4 payload threads),
 #   3. AddressSanitizer build running the mapping/executor suites
-#      (test_mapping, test_execute, test_systolic_sim, test_netplan),
+#      (test_mapping, test_execute, test_systolic_sim, test_netplan,
+#      test_serve),
 #   4. Release (-O3) build running the kernel differential suite plus a
 #      bench_kernels smoke pass — the kernel exactness contract must
 #      survive full optimization, not just the default build,
@@ -45,7 +47,14 @@
 #      MACs, bytes, roofline bounds — must reproduce exactly on any
 #      machine; wall-clock metrics only warn), a deliberately perturbed
 #      copy must make the gate exit nonzero, and a record_bench.sh
-#      ledger entry must round-trip through the same comparator.
+#      ledger entry must round-trip through the same comparator,
+#  12. serving lab: bench_serve's artifact must parse, declare its
+#      metric_families, clear the >= 2x dynamic-batching gate, and be
+#      byte-identical between --workers=1 and --workers=4; a fresh run
+#      diffs against the committed results/BENCH_serve.json via
+#      bench_compare, a perturbed speedup_vs_b1 (exact by declaration,
+#      wall-looking by name) must exit nonzero, and serve_demo's replay
+#      must be byte-deterministic across repeat runs.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        [release-build-dir]
@@ -66,16 +75,16 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/11] default build + full test suite ==="
+echo "=== [1/12] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/11] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/12] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
                    test_telemetry test_kernels test_systolic_sim
-                   test_netplan)
+                   test_netplan test_serve)
 cmake -B "$TSAN_DIR" -S . -DFUSE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target "${CONCURRENCY_TESTS[@]}"
@@ -85,8 +94,9 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/11] AddressSanitizer build + mapping/executor suites ==="
-ASAN_TESTS=(test_mapping test_execute test_systolic_sim test_netplan)
+echo "=== [3/12] AddressSanitizer build + mapping/executor suites ==="
+ASAN_TESTS=(test_mapping test_execute test_systolic_sim test_netplan
+            test_serve)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$ASAN_DIR" -j "$(nproc)" --target "${ASAN_TESTS[@]}"
@@ -96,7 +106,7 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/11] Release -O3 build: kernel differential suite + bench smoke ==="
+echo "=== [4/12] Release -O3 build: kernel differential suite + bench smoke ==="
 cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
 echo "--- test_kernels (Release) ---"
@@ -106,7 +116,7 @@ echo "--- bench_kernels smoke (Release) ---"
 echo "bench_kernels smoke: ok"
 
 echo
-echo "=== [5/11] forced-ISA matrix: differential suite + bench CSV tolerance ==="
+echo "=== [5/12] forced-ISA matrix: differential suite + bench CSV tolerance ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 # The differential suite under each forced ISA. Under =scalar the float
@@ -160,7 +170,7 @@ print(f"{len(names)} files agree between --kernel-isa=scalar and =auto")
 EOF
 
 echo
-echo "=== [6/11] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [6/12] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
@@ -180,7 +190,7 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [7/11] backend equality: --kernel-backend=fast vs reference ==="
+echo "=== [7/12] backend equality: --kernel-backend=fast vs reference ==="
 # Every golden-producing bench (all of bench/ except the google-benchmark
 # micro-bench, whose output is wall time). Each runs with --csv where
 # supported, in a per-backend scratch dir; stdout and every CSV written
@@ -229,7 +239,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [8/11] sim backend equality: --sim-backend=fast vs reference ==="
+echo "=== [8/12] sim backend equality: --sim-backend=fast vs reference ==="
 # The simulator-driven examples must print byte-identical stdout under
 # either engine (the fast engine is bit-exact, cycles included). The
 # second fast leg also pins --sim-threads=4: fold-parallel execution may
@@ -256,7 +266,7 @@ done
 echo "bench_sim bit-exactness smoke: ok"
 
 echo
-echo "=== [9/11] schedule equality: default vs --sched-mode=per-layer ==="
+echo "=== [9/12] schedule equality: default vs --sched-mode=per-layer ==="
 # The fused network schedule is strictly opt-in: with no flag, every
 # bench must print exactly what an explicit --sched-mode=per-layer run
 # prints (bench_ria_analysis takes no CLI flags, so its per-layer leg
@@ -286,7 +296,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [10/11] telemetry export: profile_network JSON validity ==="
+echo "=== [10/12] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"
@@ -327,7 +337,7 @@ print(f"{len(paths)} telemetry JSON files parsed; attribution sums check")
 EOF
 
 echo
-echo "=== [11/11] perf-regression lab: bench_compare vs committed baselines ==="
+echo "=== [11/12] perf-regression lab: bench_compare vs committed baselines ==="
 # Fresh machine-readable artifacts from the two deterministic-core
 # benches, diffed against the committed baselines. Cycle counts, MAC and
 # byte totals, and roofline bounds are model outputs and must reproduce
@@ -364,6 +374,73 @@ FUSE_HISTORY_DIR="$TELEMETRY_TMP/history" tools/record_bench.sh \
   "$TELEMETRY_TMP/BENCH_fusion.json"
 python3 tools/bench_compare.py "$TELEMETRY_TMP/history/BENCH_fusion.jsonl" \
   "$TELEMETRY_TMP/BENCH_fusion.json" --quiet
+
+echo
+echo "=== [12/12] serving lab: bench_serve + serve_demo determinism ==="
+# bench_serve FUSE_CHECKs the >= 2x dynamic-batching gate internally, so
+# a clean exit is the throughput claim. The artifact must be
+# byte-identical between worker counts: every number in it is a
+# virtual-cycle scheduling decision or a seeded payload checksum, none
+# of which may depend on payload-thread interleaving.
+"$BUILD_DIR/bench/bench_serve" --workers=1 \
+  --json="$TELEMETRY_TMP/BENCH_serve.w1.json" > /dev/null
+"$BUILD_DIR/bench/bench_serve" --workers=4 \
+  --json="$TELEMETRY_TMP/BENCH_serve.w4.json" > /dev/null
+if diff "$TELEMETRY_TMP/BENCH_serve.w1.json" \
+        "$TELEMETRY_TMP/BENCH_serve.w4.json"; then
+  echo "bench_serve: artifact byte-identical across --workers=1/4"
+else
+  echo "bench_serve: ARTIFACT DIVERGED between worker counts" >&2
+  exit 1
+fi
+python3 - "$TELEMETRY_TMP/BENCH_serve.w1.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["metric_families"] == {"exact": ["*"]}, \
+    "BENCH_serve must declare every metric exact"
+speedups = [r["speedup_vs_b1"] for r in doc["rows"]
+            if r.get("experiment") == "saturation"]
+assert speedups and max(speedups) >= 2.0, \
+    f"serving gate: best speedup {max(speedups, default=0)} < 2x"
+assert any(r.get("experiment") == "rate_sweep" for r in doc["rows"])
+assert any(r.get("experiment") == "multi_tenant" for r in doc["rows"])
+print(f"BENCH_serve.json valid; best saturation speedup "
+      f"{max(speedups):.2f}x (gate >= 2x)")
+EOF
+python3 tools/bench_compare.py results/BENCH_serve.json \
+  "$TELEMETRY_TMP/BENCH_serve.w1.json"
+# The family declaration must actually bite: speedup_vs_b1 looks like a
+# wall-clock metric by name, so only the metric_families machinery makes
+# this small perturbation a hard failure.
+python3 - "$TELEMETRY_TMP" <<'EOF'
+import json, os, sys
+tmp = sys.argv[1]
+with open(os.path.join(tmp, "BENCH_serve.w1.json")) as f:
+    doc = json.load(f)
+for row in doc["rows"]:
+    if "speedup_vs_b1" in row:
+        row["speedup_vs_b1"] *= 1.05  # well inside the wall tolerance
+with open(os.path.join(tmp, "BENCH_serve.perturbed.json"), "w") as f:
+    json.dump(doc, f)
+EOF
+if python3 tools/bench_compare.py results/BENCH_serve.json \
+     "$TELEMETRY_TMP/BENCH_serve.perturbed.json" --quiet; then
+  echo "bench_compare FAILED to gate a perturbed exact-family metric" >&2
+  exit 1
+fi
+echo "bench_compare: perturbed speedup_vs_b1 correctly rejected"
+# serve_demo replays a canned trace; its whole printout (scheduling
+# table, percentiles, metrics registry) must be reproducible.
+"$BUILD_DIR/examples/serve_demo" > "$TELEMETRY_TMP/serve_demo.a.txt"
+"$BUILD_DIR/examples/serve_demo" > "$TELEMETRY_TMP/serve_demo.b.txt"
+if diff "$TELEMETRY_TMP/serve_demo.a.txt" "$TELEMETRY_TMP/serve_demo.b.txt"
+then
+  echo "serve_demo: replay byte-deterministic"
+else
+  echo "serve_demo: OUTPUT DIVERGED between runs" >&2
+  exit 1
+fi
 
 echo
 echo "all checks passed"

@@ -11,7 +11,11 @@
 # tools/bench_compare.py reads these files directly (latest entry by
 # default, --at=N for older ones), so two points in the ledger — or a
 # ledger entry against a fresh run — diff with the same tool and the
-# same deterministic/wall-clock rules.
+# same deterministic/wall-clock rules. Artifacts that mix both metric
+# families declare them via a top-level "metric_families" object (e.g.
+# BENCH_serve.json marks its cycle-domain speedup_vs_b1 exact); the
+# declaration is part of "data" and rides through the ledger verbatim,
+# so old entries keep classifying correctly as rules evolve.
 #
 # Usage: tools/record_bench.sh [BENCH_json...]
 #   FUSE_HISTORY_DIR overrides the ledger directory (for tests/CI).

@@ -50,6 +50,12 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
     # Network-scheduler rows: per-layer vs fused roofline per network x
     # variant, with the proven never-slower bound savings.
     "$bench" --json="$RESULTS_DIR/BENCH_fusion.json" --csv | tee "$name.txt"
+  elif [ "$name" = bench_serve ]; then
+    # Serving-engine rows: saturation throughput (batch-1 vs dynamic
+    # batching, >= 2x gate), open-loop rate sweep percentiles, and the
+    # multi-tenant fingerprint. All cycle-domain, so the artifact is
+    # byte-reproducible on any machine.
+    "$bench" --json="$RESULTS_DIR/BENCH_serve.json" --csv | tee "$name.txt"
   elif "$bench" --help 2>&1 | grep -q -- '--csv'; then
     "$bench" --csv | tee "$name.txt"
   else
