@@ -19,17 +19,6 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1") return nets::NetworkId::kMobileNetV1;
-  if (name == "v2") return nets::NetworkId::kMobileNetV2;
-  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
-  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
-  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
-  FUSE_CHECK(false) << "unknown --net '" << name
-                    << "' (v1|v2|v3s|v3l|mnas)";
-  return nets::NetworkId::kMobileNetV2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,7 +34,7 @@ int main(int argc, char** argv) {
   bench::apply_sched_flags(flags);
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
-  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const nets::NetworkId id = nets::parse_network_flag(flags.get_string("net"));
   const core::FuseMode mode = flags.get_string("variant") == "half"
                                   ? core::FuseMode::kHalf
                                   : core::FuseMode::kFull;

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "dse/pareto.hpp"
 #include "hw/area_power.hpp"
 #include "sched/sweep.hpp"
 #include "util/check.hpp"
@@ -22,16 +23,6 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1") return nets::NetworkId::kMobileNetV1;
-  if (name == "v2") return nets::NetworkId::kMobileNetV2;
-  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
-  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
-  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
-  FUSE_CHECK(false) << "unknown --net '" << name << "'";
-  return nets::NetworkId::kMobileNetV2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,7 +32,7 @@ int main(int argc, char** argv) {
   bench::SweepHarness harness(flags);
   flags.parse(argc, argv);
 
-  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const nets::NetworkId id = nets::parse_network_flag(flags.get_string("net"));
   const hw::PeComponentModel hw_model = hw::nangate45_model();
   const auto baseline = nets::build_network(id);
   const int slots = nets::num_fuse_slots(id);
@@ -97,6 +88,27 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   harness.print_footer();
+
+  // Pareto annotation over {FuSe latency, area, power} — the dominance
+  // logic is dse/pareto.hpp's, shared with the full design-space
+  // explorer (examples/dse_explore), not a local copy.
+  std::vector<dse::Objectives> objectives;
+  for (const Point& p : points) {
+    dse::Objectives obj;
+    obj.latency_ms = 1e3 / p.fuse_inf_s;
+    obj.area_mm2 = p.hw.area_mm2;
+    obj.power_w = p.hw.power_mw / 1e3;
+    objectives.push_back(obj);
+  }
+  std::string frontier;
+  for (std::size_t idx : dse::pareto_frontier(objectives)) {
+    if (!frontier.empty()) {
+      frontier += ", ";
+    }
+    frontier += std::to_string(sizes[idx]) + "x" + std::to_string(sizes[idx]);
+  }
+  std::printf("\nPareto frontier over {FuSe latency, area, power}: %s\n",
+              frontier.c_str());
   std::printf(
       "\nFuSe keeps converting PEs into throughput where the baseline "
       "saturates; the\nthroughput-per-area optimum moves toward smaller "

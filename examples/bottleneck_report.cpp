@@ -32,30 +32,6 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1" || name == "mobilenet_v1") {
-    return nets::NetworkId::kMobileNetV1;
-  }
-  if (name == "v2" || name == "mobilenet_v2") {
-    return nets::NetworkId::kMobileNetV2;
-  }
-  if (name == "v3s" || name == "mobilenet_v3_small") {
-    return nets::NetworkId::kMobileNetV3Small;
-  }
-  if (name == "v3l" || name == "mobilenet_v3_large") {
-    return nets::NetworkId::kMobileNetV3Large;
-  }
-  if (name == "mnas" || name == "mnasnet" || name == "mnasnet_b1") {
-    return nets::NetworkId::kMnasNetB1;
-  }
-  if (name == "resnet50") {
-    return nets::NetworkId::kResNet50;
-  }
-  FUSE_CHECK(false) << "unknown --net '" << name
-                    << "' (v1|v2|v3s|v3l|mnas|resnet50)";
-  return nets::NetworkId::kMobileNetV2;
-}
-
 core::NetworkVariant parse_variant(const std::string& name) {
   if (name == "baseline") return core::NetworkVariant::kBaseline;
   if (name == "full" || name == "fuse_full") {
@@ -91,7 +67,7 @@ int main(int argc, char** argv) {
   flags.add_string("json", "", "write the full attribution report here");
   flags.parse(argc, argv);
 
-  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const nets::NetworkId id = nets::parse_network_flag(flags.get_string("net"));
   const core::NetworkVariant variant =
       parse_variant(flags.get_string("variant"));
   FUSE_CHECK(id != nets::NetworkId::kResNet50 ||

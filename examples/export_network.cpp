@@ -20,16 +20,6 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1") return nets::NetworkId::kMobileNetV1;
-  if (name == "v2") return nets::NetworkId::kMobileNetV2;
-  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
-  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
-  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
-  FUSE_CHECK(false) << "unknown --net '" << name << "'";
-  return nets::NetworkId::kMobileNetV2;
-}
-
 core::NetworkVariant parse_variant(const std::string& name) {
   if (name == "baseline") return core::NetworkVariant::kBaseline;
   if (name == "full") return core::NetworkVariant::kFuseFull;
@@ -55,7 +45,7 @@ int main(int argc, char** argv) {
 
   const auto cfg = systolic::square_array(flags.get_int("size"));
   const sched::VariantBuild build = sched::build_variant(
-      parse_net(flags.get_string("net")),
+      nets::parse_network_flag(flags.get_string("net")),
       parse_variant(flags.get_string("variant")), cfg);
 
   const std::string path = flags.get_string("out");

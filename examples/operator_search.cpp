@@ -7,7 +7,10 @@
 // Usage: operator_search [--net=v3s] [--size=64] [--budget=1.05]
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "dse/pareto.hpp"
 #include "nos/search.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -18,15 +21,37 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1") return nets::NetworkId::kMobileNetV1;
-  if (name == "v2") return nets::NetworkId::kMobileNetV2;
-  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
-  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
-  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
-  FUSE_CHECK(false) << "unknown --net '" << name << "'";
-  return nets::NetworkId::kMobileNetV2;
-}
+/// Accumulates each printed assignment as a {latency, capacity} point so
+/// the footer can name the Pareto-optimal ones. Dominance comes from
+/// dse/pareto.hpp — the same logic the design-space explorer uses.
+/// Objectives are minimized, so latency enters as 1/speedup and capacity
+/// (params, the accuracy proxy — more is better) enters negated on the
+/// second axis; the third axis is unused (all zero, so it never decides
+/// dominance).
+struct AssignmentSet {
+  std::vector<std::string> names;
+  std::vector<dse::Objectives> objectives;
+
+  void add(const std::string& name, double speedup, double params_ratio) {
+    names.push_back(name);
+    dse::Objectives obj;
+    obj.latency_ms = 1.0 / speedup;
+    obj.area_mm2 = -params_ratio;
+    obj.power_w = 0.0;
+    objectives.push_back(obj);
+  }
+
+  std::string frontier_names() const {
+    std::string out;
+    for (std::size_t idx : dse::pareto_frontier(objectives)) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += names[idx];
+    }
+    return out;
+  }
+};
 
 }  // namespace
 
@@ -37,13 +62,14 @@ int main(int argc, char** argv) {
   flags.add_double("budget", 1.05, "max params ratio vs baseline");
   flags.parse(argc, argv);
 
-  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const nets::NetworkId id = nets::parse_network_flag(flags.get_string("net"));
   const auto cfg = systolic::square_array(flags.get_int("size"));
 
   std::printf("Neural Operator Search on %s (%s array)\n\n",
               nets::network_name(id).c_str(), cfg.to_string().c_str());
 
   // Uniform variants for context.
+  AssignmentSet assignments;
   util::TablePrinter table(
       {"Assignment", "Params ratio", "Speedup", "Per-slot modes"});
   for (core::NetworkVariant variant :
@@ -53,13 +79,14 @@ int main(int argc, char** argv) {
     const double base_params = static_cast<double>(
         sched::build_variant(id, core::NetworkVariant::kBaseline, cfg)
             .model.total_params());
-    table.add_row(
-        {core::network_variant_name(variant),
-         util::fixed(
-             static_cast<double>(build.model.total_params()) / base_params,
-             3),
-         util::fixed(sched::speedup_vs_baseline(id, variant, cfg), 2) + "x",
-         "uniform"});
+    const double params_ratio =
+        static_cast<double>(build.model.total_params()) / base_params;
+    const double speedup = sched::speedup_vs_baseline(id, variant, cfg);
+    assignments.add(core::network_variant_name(variant), speedup,
+                    params_ratio);
+    table.add_row({core::network_variant_name(variant),
+                   util::fixed(params_ratio, 3),
+                   util::fixed(speedup, 2) + "x", "uniform"});
   }
 
   // Direction 1: minimize latency under a parameter budget.
@@ -67,9 +94,11 @@ int main(int argc, char** argv) {
     nos::NosConfig config;
     config.max_params_ratio = flags.get_double("budget");
     const nos::NosResult result = nos::search_operators(id, cfg, config);
-    table.add_row({"NOS min-latency @ " +
-                       util::fixed(config.max_params_ratio, 2) + "x params",
-                   util::fixed(result.params_ratio, 3),
+    const std::string name = "NOS min-latency @ " +
+                             util::fixed(config.max_params_ratio, 2) +
+                             "x params";
+    assignments.add(name, result.speedup, result.params_ratio);
+    table.add_row({name, util::fixed(result.params_ratio, 3),
                    util::fixed(result.speedup, 2) + "x",
                    result.modes_string()});
   }
@@ -91,13 +120,16 @@ int main(int argc, char** argv) {
     nos::NosLatencyBudgetConfig config;
     config.max_cycles_ratio = cycles_ratio;
     const nos::NosResult result = nos::search_capacity(id, cfg, config);
-    table.add_row({"NOS max-capacity @ " + util::fixed(cycles_ratio, 2) +
-                       "x latency",
-                   util::fixed(result.params_ratio, 3),
+    const std::string name =
+        "NOS max-capacity @ " + util::fixed(cycles_ratio, 2) + "x latency";
+    assignments.add(name, result.speedup, result.params_ratio);
+    table.add_row({name, util::fixed(result.params_ratio, 3),
                    util::fixed(result.speedup, 2) + "x",
                    result.modes_string()});
   }
   table.print(std::cout);
+  std::printf("\nPareto-optimal over {latency, capacity}: %s\n",
+              assignments.frontier_names().c_str());
   std::printf(
       "\nper-slot letters: B = keep depthwise, F = FuSe-Full (D=1), "
       "H = FuSe-Half (D=2)\nThe capacity search spends its latency budget "

@@ -26,16 +26,6 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1") return nets::NetworkId::kMobileNetV1;
-  if (name == "v2") return nets::NetworkId::kMobileNetV2;
-  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
-  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
-  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
-  FUSE_CHECK(false) << "unknown --net '" << name << "'";
-  return nets::NetworkId::kMobileNetV2;
-}
-
 core::NetworkVariant parse_variant(const std::string& name) {
   if (name == "baseline") return core::NetworkVariant::kBaseline;
   if (name == "full") return core::NetworkVariant::kFuseFull;
@@ -62,7 +52,7 @@ int main(int argc, char** argv) {
   // without touching stdout.
   bench::TelemetryScope telemetry(flags);
 
-  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const nets::NetworkId id = nets::parse_network_flag(flags.get_string("net"));
   const auto variant = parse_variant(flags.get_string("variant"));
   const auto cfg = systolic::square_array(flags.get_int("size"));
   sched::SchedMode mode;

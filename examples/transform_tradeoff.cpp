@@ -20,16 +20,6 @@ using namespace fuse;
 
 namespace {
 
-nets::NetworkId parse_net(const std::string& name) {
-  if (name == "v1") return nets::NetworkId::kMobileNetV1;
-  if (name == "v2") return nets::NetworkId::kMobileNetV2;
-  if (name == "v3s") return nets::NetworkId::kMobileNetV3Small;
-  if (name == "v3l") return nets::NetworkId::kMobileNetV3Large;
-  if (name == "mnas") return nets::NetworkId::kMnasNetB1;
-  FUSE_CHECK(false) << "unknown --net '" << name << "'";
-  return nets::NetworkId::kMobileNetV2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,7 +29,7 @@ int main(int argc, char** argv) {
   flags.add_int("size", 64, "systolic array size (SxS)");
   flags.parse(argc, argv);
 
-  const nets::NetworkId id = parse_net(flags.get_string("net"));
+  const nets::NetworkId id = nets::parse_network_flag(flags.get_string("net"));
   const core::FuseMode mode = flags.get_string("variant") == "full"
                                   ? core::FuseMode::kFull
                                   : core::FuseMode::kHalf;

@@ -1,0 +1,57 @@
+#include "dse/pareto.hpp"
+
+namespace fuse::dse {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  const std::array<double, 3> av = a.axes();
+  const std::array<double, 3> bv = b.axes();
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    if (av[i] > bv[i]) {
+      return false;
+    }
+    if (av[i] < bv[i]) {
+      strictly_better = true;
+    }
+  }
+  return strictly_better;
+}
+
+bool ParetoFront::offer(std::size_t id, const Objectives& obj) {
+  for (const ParetoEntry& entry : entries_) {
+    if (dominates(entry.obj, obj)) {
+      ++pruned_;
+      return false;
+    }
+  }
+  // Evict in place, preserving the offer order of survivors.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (dominates(obj, entries_[i].obj)) {
+      ++pruned_;
+    } else {
+      entries_[kept++] = entries_[i];
+    }
+  }
+  entries_.resize(kept);
+  entries_.push_back(ParetoEntry{id, obj});
+  return true;
+}
+
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<Objectives>& objectives) {
+  ParetoFront front;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    front.offer(i, objectives[i]);
+  }
+  std::vector<std::size_t> ids;
+  ids.reserve(front.entries().size());
+  for (const ParetoEntry& entry : front.entries()) {
+    ids.push_back(entry.id);
+  }
+  // Offer order == index order here, so this is already ascending; keep
+  // the contract explicit anyway.
+  return ids;
+}
+
+}  // namespace fuse::dse

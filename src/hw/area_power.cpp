@@ -6,6 +6,32 @@ namespace fuse::hw {
 
 PeComponentModel nangate45_model() { return PeComponentModel{}; }
 
+double datapath_area_scale(systolic::Datapath dp) {
+  switch (dp) {
+    case systolic::Datapath::kInt8:
+      return 0.35;
+    case systolic::Datapath::kFp16:
+      return 1.0;
+    case systolic::Datapath::kFp32:
+      return 2.1;
+  }
+  FUSE_CHECK(false) << "unknown datapath";
+  return 1.0;
+}
+
+double datapath_power_scale(systolic::Datapath dp) {
+  switch (dp) {
+    case systolic::Datapath::kInt8:
+      return 0.30;
+    case systolic::Datapath::kFp16:
+      return 1.0;
+    case systolic::Datapath::kFp32:
+      return 2.2;
+  }
+  FUSE_CHECK(false) << "unknown datapath";
+  return 1.0;
+}
+
 ArrayHwReport array_hw(const systolic::ArrayConfig& cfg,
                        const PeComponentModel& model) {
   cfg.validate();
@@ -13,19 +39,32 @@ ArrayHwReport array_hw(const systolic::ArrayConfig& cfg,
   const double cols = static_cast<double>(cfg.cols);
   const double pes = rows * cols;
   const double edges = rows + cols;  // feeders on left + top (drain shares)
+  // MAC/register/edge datapaths scale with operand width; per-PE control
+  // and the broadcast fabric do not.
+  const double dp_area = datapath_area_scale(cfg.datapath);
+  const double dp_power = datapath_power_scale(cfg.datapath);
+  // Clock-gated register power under transparent pipelining: only every
+  // p-th stage latches.
+  const double reg_duty = 1.0 / static_cast<double>(cfg.transparency());
 
   double area_um2 =
-      pes * (model.mac_area_um2 + model.reg_area_um2 + model.ctrl_area_um2) +
-      edges * model.edge_cell_area_um2;
+      pes * (dp_area * (model.mac_area_um2 + model.reg_area_um2) +
+             model.ctrl_area_um2) +
+      edges * dp_area * model.edge_cell_area_um2;
   double power_mw =
-      pes * (model.mac_power_mw + model.reg_power_mw + model.ctrl_power_mw) +
-      edges * model.edge_cell_power_mw;
+      pes * (dp_power * (model.mac_power_mw + reg_duty * model.reg_power_mw) +
+             model.ctrl_power_mw) +
+      edges * dp_power * model.edge_cell_power_mw;
 
   if (cfg.broadcast_links) {
     area_um2 += pes * (model.mux_area_um2 + model.wire_seg_area_um2) +
                 rows * model.row_driver_area_um2;
     power_mw += pes * (model.mux_power_mw + model.wire_seg_power_mw) +
                 rows * model.row_driver_power_mw;
+  }
+  if (cfg.pipelining != systolic::Pipelining::kPipelined) {
+    area_um2 += pes * model.bypass_mux_area_um2;
+    power_mw += pes * model.bypass_mux_power_mw;
   }
 
   ArrayHwReport report;

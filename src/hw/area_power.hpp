@@ -39,7 +39,21 @@ struct PeComponentModel {
   double mux_power_mw = 0.0183;
   double wire_seg_power_mw = 0.0052;
   double row_driver_power_mw = 0.21;
+
+  // Transparent-pipelining modification (ArrayFlex-style): a bypass mux on
+  // the forwarding path of every PE; register power is clock-gated down by
+  // the transparency factor (only every p-th stage latches).
+  double bypass_mux_area_um2 = 58.0;
+  double bypass_mux_power_mw = 0.0151;
 };
+
+/// Datapath width scaling relative to the FP16 baseline the component
+/// costs are calibrated for. int8 MACs are far smaller/cheaper; fp32
+/// roughly doubles both. Applied to the width-dependent components (MAC,
+/// registers, edge cells) — control and the broadcast fabric are
+/// width-independent.
+double datapath_area_scale(systolic::Datapath dp);
+double datapath_power_scale(systolic::Datapath dp);
 
 /// Default calibration (see file comment).
 PeComponentModel nangate45_model();

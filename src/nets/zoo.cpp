@@ -33,6 +33,30 @@ const std::vector<NetworkId>& paper_networks() {
   return kNetworks;
 }
 
+NetworkId parse_network_flag(const std::string& name) {
+  if (name == "v1" || name == "mobilenet_v1") {
+    return NetworkId::kMobileNetV1;
+  }
+  if (name == "v2" || name == "mobilenet_v2") {
+    return NetworkId::kMobileNetV2;
+  }
+  if (name == "v3s" || name == "mobilenet_v3_small") {
+    return NetworkId::kMobileNetV3Small;
+  }
+  if (name == "v3l" || name == "mobilenet_v3_large") {
+    return NetworkId::kMobileNetV3Large;
+  }
+  if (name == "mnas" || name == "mnasnet" || name == "mnasnet_b1") {
+    return NetworkId::kMnasNetB1;
+  }
+  if (name == "resnet50") {
+    return NetworkId::kResNet50;
+  }
+  FUSE_CHECK(false) << "unknown --net '" << name
+                    << "' (v1|v2|v3s|v3l|mnas|resnet50)";
+  return NetworkId::kMobileNetV2;
+}
+
 NetworkModel build_network(NetworkId id,
                            const std::vector<core::FuseMode>& modes) {
   switch (id) {

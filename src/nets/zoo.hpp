@@ -26,6 +26,13 @@ std::string network_name(NetworkId id);
 /// The five networks evaluated in Table I, in the paper's order.
 const std::vector<NetworkId>& paper_networks();
 
+/// Parses a --net flag value. Accepts the short forms every driver uses
+/// (v1|v2|v3s|v3l|mnas|resnet50) plus the long builder names
+/// (mobilenet_v1, ..., mnasnet, mnasnet_b1); FUSE_CHECK-fails on unknown
+/// names. The single home of this mapping — drivers must not re-implement
+/// it.
+NetworkId parse_network_flag(const std::string& name);
+
 /// Builds a network with per-slot FuSe modes ({} = all baseline).
 /// Input is the ImageNet geometry 3x224x224.
 NetworkModel build_network(NetworkId id,

@@ -50,12 +50,14 @@ void matmul_fold_splits(
     switch (cfg.dataflow) {
       case Dataflow::kOutputStationary:
         // (R-1)+(C-1) fill skew, T MAC cycles, R drain (last fold only
-        // when drains overlap the next fold's fill).
-        split.fill_drain =
-            static_cast<std::uint64_t>((tile.rows - 1) + (tile.cols - 1));
+        // when drains overlap the next fold's fill); skew/drain shrink
+        // with transparency.
+        split.fill_drain = static_cast<std::uint64_t>(
+            cfg.skew_cycles(tile.rows) + cfg.skew_cycles(tile.cols));
         split.compute = static_cast<std::uint64_t>(t);
         if (!cfg.overlap_fold_drain || last) {
-          split.fill_drain += static_cast<std::uint64_t>(tile.rows);
+          split.fill_drain +=
+              static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
         }
         macs = static_cast<std::uint64_t>(tile.rows) *
                static_cast<std::uint64_t>(tile.cols) *
@@ -69,8 +71,8 @@ void matmul_fold_splits(
           split.fill_drain += static_cast<std::uint64_t>(tile.rows);
         }
         split.compute = static_cast<std::uint64_t>(m);
-        split.fill_drain +=
-            static_cast<std::uint64_t>(tile.rows + tile.cols - 2);
+        split.fill_drain += static_cast<std::uint64_t>(
+            cfg.skew_cycles(tile.rows) + cfg.skew_cycles(tile.cols));
         macs = static_cast<std::uint64_t>(m) *
                static_cast<std::uint64_t>(tile.rows) *
                static_cast<std::uint64_t>(tile.cols);
@@ -82,8 +84,8 @@ void matmul_fold_splits(
           split.fill_drain += static_cast<std::uint64_t>(tile.rows);
         }
         split.compute = static_cast<std::uint64_t>(n);
-        split.fill_drain +=
-            static_cast<std::uint64_t>(tile.rows + tile.cols - 2);
+        split.fill_drain += static_cast<std::uint64_t>(
+            cfg.skew_cycles(tile.rows) + cfg.skew_cycles(tile.cols));
         macs = static_cast<std::uint64_t>(n) *
                static_cast<std::uint64_t>(tile.rows) *
                static_cast<std::uint64_t>(tile.cols);
@@ -107,10 +109,11 @@ void fuse1d_fold_splits(
     const FoldTile& tile = tiles[i];
     const bool last = i + 1 == tiles.size();
     CycleSplit split;
-    split.fill_drain = static_cast<std::uint64_t>(tile.cols - 1);
+    split.fill_drain = static_cast<std::uint64_t>(cfg.skew_cycles(tile.cols));
     split.compute = static_cast<std::uint64_t>(k);
     if (!cfg.overlap_fold_drain || last) {
-      split.fill_drain += static_cast<std::uint64_t>(tile.rows);
+      split.fill_drain +=
+          static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
     }
     fn(split, static_cast<std::uint64_t>(tile.rows) *
                   static_cast<std::uint64_t>(tile.cols) *

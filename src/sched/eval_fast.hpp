@@ -1,0 +1,123 @@
+// Plan-free closed-form latency/traffic evaluator.
+//
+// layer_latency / plan_network cost a layer by materializing its
+// MappingPlan (a heap-allocated op list) and walking every fold tile.
+// That walk visits ceil(a/R) * ceil(b/C) tiles — fine for one network,
+// far too slow for a design-space sweep over hundreds of ArrayConfigs.
+//
+// This module computes the SAME numbers in closed form. A row-major fold
+// grid has at most 2 distinct tile sizes per axis (the full tile and the
+// edge remainder), so any per-tile cost sums as a 2x2 class
+// decomposition: (na-1)(nb-1) interior tiles, nb-1 / na-1 edge strips,
+// and 1 corner. Per-fold skew/compute/drain terms, preloads, traffic
+// bytes, and peak fold footprints all collapse this way, and the op
+// shapes themselves are mirrored from systolic::lower() without building
+// the plan.
+//
+// Equality contract (the repo's oracle-vs-fast idiom, like kernels PR 4
+// and the simulator PR 5): for every layer and every ArrayConfig,
+//
+//   eval_layer_fast(l, cfg, mem).latency == plan_latency(lower(l, cfg))
+//   eval_layer_fast(l, cfg, mem).traffic == plan_traffic(lower(l, cfg))
+//   eval_layer_fast(l, cfg, mem).peak_fold_bytes
+//                                == plan_peak_fold_bytes(lower(l, cfg))
+//
+// and eval_network_fast's schedule/roofline equal plan_network /
+// plan_roofline — structurally, because both paths feed the identical
+// LayerCosts through the shared schedule_costs / roofline_over
+// (netplan.hpp). tests/test_eval_fast.cpp FUSE_CHECKs the whole grid
+// (5 networks x 5 variants x dataflows x broadcast x sched modes), and
+// bench_dse gates the >= 10x configs-per-second win this buys.
+//
+// Telemetry: the evaluator intentionally skips the per-layer mapping.* /
+// sched.* counters of the plan path (not materializing the plan is the
+// point); it has its own eval.hits / eval.misses counters and the
+// eval.memo_hit_pct gauge on the EvalCache.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "sched/latency_cache.hpp"
+#include "sched/netplan.hpp"
+
+namespace fuse::sched {
+
+/// Closed-form LayerCost of one layer: latency, DRAM traffic, and peak
+/// per-fold SRAM footprint, equal to the plan-folded path (see the
+/// equality contract above). Pure function of (layer geometry, cfg, mem).
+LayerCost eval_layer_fast(const nn::LayerDesc& layer,
+                          const systolic::ArrayConfig& cfg,
+                          const systolic::MemoryConfig& mem);
+
+/// Memo key: the full latency shape key (every LayerDesc/ArrayConfig field
+/// the cycle model reads, including the pipelining/datapath axes) plus the
+/// memory dtype width, which scales the byte fields. Bandwidth and SRAM
+/// size stay OUT of the key: the cached cost stores bytes, and
+/// memory_cycles / buffer placement are derived downstream.
+struct EvalKey {
+  LatencyKey shape;
+  std::int64_t dtype_bytes = 0;
+
+  bool operator==(const EvalKey& other) const = default;
+};
+
+struct EvalKeyHash {
+  std::size_t operator()(const EvalKey& key) const;
+};
+
+/// Sharded memo table for eval_layer_fast, mirroring LatencyCache's
+/// locking discipline (readers share, inserts exclusive, compute outside
+/// any lock — eval_layer_fast is pure, so racing double-computes are
+/// harmless).
+class EvalCache {
+ public:
+  LayerCost get_or_compute(const nn::LayerDesc& layer,
+                           const systolic::ArrayConfig& cfg,
+                           const systolic::MemoryConfig& mem);
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  /// Hit fraction in percent (0 when never queried).
+  double hit_rate_pct() const;
+  /// Writes hit_rate_pct() to the eval.memo_hit_pct gauge (kept off the
+  /// lookup hot path — call once per sweep, not per layer).
+  void publish_hit_rate() const;
+  std::size_t entries() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<EvalKey, LayerCost, EvalKeyHash> map;
+  };
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Whole-network closed-form evaluation: per-layer costs plus the shared
+/// schedule (SRAM liveness + fusion legality) and roofline.
+struct NetworkEval {
+  std::vector<LayerCost> layers;  // parallel to model.layers
+  /// Sum of per-layer analytic latencies — equals NetworkPlan::total_cycles.
+  std::uint64_t total_cycles = 0;
+  CostSchedule schedule;
+  NetworkRoofline roofline;
+};
+
+/// Evaluates the network without materializing any MappingPlan. With a
+/// non-null cache, per-layer costs are memoized across calls (identical
+/// values — eval_layer_fast is pure). The roofline equals
+/// plan_roofline(plan_network(model, cfg, mem, mode)) field for field.
+NetworkEval eval_network_fast(const nets::NetworkModel& model,
+                              const systolic::ArrayConfig& cfg,
+                              const systolic::MemoryConfig& mem,
+                              SchedMode mode, EvalCache* cache = nullptr);
+
+}  // namespace fuse::sched

@@ -48,11 +48,17 @@ LatencyKey make_latency_key(const nn::LayerDesc& layer,
       cfg.rows,
       cfg.cols,
       static_cast<std::int64_t>(cfg.dataflow),
-      // Remaining config booleans + mapping enum packed into one slot.
+      // Remaining config booleans + small enums packed into one slot:
+      // mapping (bits 0-1), broadcast (2), overlap (3), strided-fuse (4),
+      // pipelining (5-6), datapath (7-8). Datapath never moves cycle
+      // counts, but keying on the FULL ArrayConfig keeps the no-alias
+      // contract trivially true as fields grow (test_eval_fast pins it).
       static_cast<std::int64_t>(cfg.standard_conv_mapping) |
           (cfg.broadcast_links ? 1LL << 2 : 0) |
           (cfg.overlap_fold_drain ? 1LL << 3 : 0) |
-          (cfg.strided_fuse_dense_compute ? 1LL << 4 : 0),
+          (cfg.strided_fuse_dense_compute ? 1LL << 4 : 0) |
+          (static_cast<std::int64_t>(cfg.pipelining) << 5) |
+          (static_cast<std::int64_t>(cfg.datapath) << 7),
   };
   return key;
 }

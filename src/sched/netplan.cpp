@@ -104,9 +104,9 @@ std::uint64_t activation_bytes(std::int64_t c, std::int64_t h,
 /// two buffers conflict iff their live step intervals intersect, in which
 /// case their byte ranges must be disjoint (tests/test_netplan.cpp pins
 /// exactly that invariant).
-void allocate_buffers(NetworkPlan& plan) {
-  const std::uint64_t sram =
-      static_cast<std::uint64_t>(plan.mem.sram_bytes);
+void allocate_buffers(std::vector<ActivationBuffer>& buffers,
+                      std::uint64_t staging_bytes, const MemoryConfig& mem) {
+  const std::uint64_t sram = static_cast<std::uint64_t>(mem.sram_bytes);
   struct Active {
     std::uint64_t offset;
     std::uint64_t bytes;
@@ -115,14 +115,14 @@ void allocate_buffers(NetworkPlan& plan) {
   std::vector<Active> active;
   static util::Counter& spilled_counter =
       util::metrics().counter("netplan.buffers_spilled");
-  for (ActivationBuffer& buffer : plan.buffers) {
+  for (ActivationBuffer& buffer : buffers) {
     // Expire allocations whose liveness ended before this buffer starts.
     active.erase(std::remove_if(active.begin(), active.end(),
                                 [&](const Active& a) {
                                   return a.last_step < buffer.first_step;
                                 }),
                  active.end());
-    if (plan.staging_bytes + buffer.bytes > sram) {
+    if (staging_bytes + buffer.bytes > sram) {
       buffer.spilled = true;
       spilled_counter.add();
       continue;
@@ -131,7 +131,7 @@ void allocate_buffers(NetworkPlan& plan) {
               [](const Active& a, const Active& b) {
                 return a.offset < b.offset;
               });
-    std::uint64_t candidate = plan.staging_bytes;
+    std::uint64_t candidate = staging_bytes;
     for (const Active& a : active) {
       if (candidate + buffer.bytes <= a.offset) {
         break;  // fits in the gap before this allocation
@@ -149,9 +149,10 @@ void allocate_buffers(NetworkPlan& plan) {
 }
 
 /// Resident (non-spilled) activation bytes live at on-array step `step`.
-std::uint64_t resident_bytes_at(const NetworkPlan& plan, std::size_t step) {
+std::uint64_t resident_bytes_at(const std::vector<ActivationBuffer>& buffers,
+                                std::size_t step) {
   std::uint64_t bytes = 0;
-  for (const ActivationBuffer& buffer : plan.buffers) {
+  for (const ActivationBuffer& buffer : buffers) {
     if (!buffer.spilled && buffer.first_step <= step &&
         step <= buffer.last_step) {
       bytes += buffer.bytes;
@@ -193,10 +194,10 @@ void enumerate_depthwise_folds(const PrimitiveOp& op, const ArrayConfig& cfg,
     systolic::for_each_fold_tile(op.m, /*b=*/1, cfg,
                                  [&](const FoldTile& tile) {
       ProducerFold fold;
-      fold.cycles = static_cast<std::uint64_t>((tile.rows - 1) +
-                                               (tile.cols - 1) + op.k);
+      fold.cycles = static_cast<std::uint64_t>(
+          cfg.skew_cycles(tile.rows) + cfg.skew_cycles(tile.cols) + op.k);
       if (!cfg.overlap_fold_drain) {
-        fold.cycles += static_cast<std::uint64_t>(tile.rows);
+        fold.cycles += static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
       }
       fold.deadline = static_cast<std::size_t>(tile.a0 / cfg.rows);
       folds.push_back(fold);
@@ -205,7 +206,8 @@ void enumerate_depthwise_folds(const PrimitiveOp& op, const ArrayConfig& cfg,
       // The pass's trailing drain rides with its final fold.
       const std::int64_t last_rows =
           op.m - ((op.m - 1) / cfg.rows) * cfg.rows;
-      folds.back().cycles += static_cast<std::uint64_t>(last_rows);
+      folds.back().cycles +=
+          static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
     }
   }
 }
@@ -233,9 +235,9 @@ void enumerate_fuse_folds(const LayerDesc& producer, const PrimitiveOp& op,
                                [&](const FoldTile& tile) {
     ProducerFold fold;
     fold.cycles =
-        static_cast<std::uint64_t>((tile.cols - 1) + op.taps);
+        static_cast<std::uint64_t>(cfg.skew_cycles(tile.cols) + op.taps);
     if (!cfg.overlap_fold_drain) {
-      fold.cycles += static_cast<std::uint64_t>(tile.rows);
+      fold.cycles += static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
     }
     // Smallest kept output index inside this tile's column range.
     const std::int64_t first_kept = (tile.b0 + stride - 1) / stride;
@@ -262,7 +264,8 @@ void enumerate_fuse_folds(const LayerDesc& producer, const PrimitiveOp& op,
   if (cfg.overlap_fold_drain && folds.size() > pass_first) {
     const std::int64_t last_rows =
         op.lines - ((op.lines - 1) / cfg.rows) * cfg.rows;
-    folds.back().cycles += static_cast<std::uint64_t>(last_rows);
+    folds.back().cycles +=
+        static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
   }
 }
 
@@ -280,9 +283,9 @@ std::vector<ConsumerStripe> consumer_stripes(const PrimitiveOp& op,
   std::int64_t last_rows = 0;
   systolic::for_each_fold_tile(op.m, op.n, cfg, [&](const FoldTile& tile) {
     std::uint64_t cycles = static_cast<std::uint64_t>(
-        (tile.rows - 1) + (tile.cols - 1) + op.k);
+        cfg.skew_cycles(tile.rows) + cfg.skew_cycles(tile.cols) + op.k);
     if (!cfg.overlap_fold_drain) {
-      cycles += static_cast<std::uint64_t>(tile.rows);
+      cycles += static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
     }
     last_rows = tile.rows;
     ConsumerStripe& stripe =
@@ -291,7 +294,8 @@ std::vector<ConsumerStripe> consumer_stripes(const PrimitiveOp& op,
     ++stripe.folds;
   });
   if (cfg.overlap_fold_drain && !stripes.empty()) {
-    stripes.back().cycles += static_cast<std::uint64_t>(last_rows);
+    stripes.back().cycles +=
+        static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
   }
   return stripes;
 }
@@ -391,6 +395,225 @@ void emit_interleaved_group(const NetworkPlan& plan,
 
 }  // namespace
 
+CostSchedule schedule_costs(const nets::NetworkModel& model,
+                            const std::vector<LayerCost>& costs,
+                            const MemoryConfig& mem, SchedMode mode) {
+  FUSE_CHECK(costs.size() == model.layers.size())
+      << "schedule_costs needs one LayerCost per model layer, got "
+      << costs.size() << " for " << model.layers.size();
+  static util::Counter& fused_counter =
+      util::metrics().counter("netplan.pairs_fused");
+  static util::Counter& rejected_counter =
+      util::metrics().counter("netplan.pairs_rejected");
+  static util::Counter& saved_counter =
+      util::metrics().counter("netplan.saved_bytes");
+
+  CostSchedule cs;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (costs[i].on_array) {
+      cs.on_array.push_back(i);
+    }
+  }
+
+  // Double-buffered fold staging: the largest per-fold operand footprint,
+  // twice (current fold + prefetch of the next). The two halves are the
+  // statically disjoint double-buffer regions at [0, peak) and
+  // [peak, 2*peak).
+  std::uint64_t max_peak = 0;
+  for (std::size_t i : cs.on_array) {
+    max_peak = std::max(max_peak, costs[i].peak_fold_bytes);
+  }
+  cs.staging_bytes = 2 * max_peak;
+
+  // Liveness: the activation chain is linear in this flat IR (skip
+  // connections share the glue adds' inputs and are not tracked
+  // separately — docs/scheduler.md discusses the simplification). The
+  // network input is live through step 0; step s's output is live until
+  // its consumer (step s+1) finishes.
+  const std::size_t steps = cs.on_array.size();
+  if (steps > 0) {
+    const LayerDesc& first = model.layers[cs.on_array.front()];
+    ActivationBuffer input;
+    input.producer = ActivationBuffer::kNetworkInput;
+    input.first_step = 0;
+    input.last_step = 0;
+    input.bytes = activation_bytes(first.in_c, first.in_h, first.in_w, mem);
+    cs.buffers.push_back(input);
+  }
+  for (std::size_t s = 0; s < steps; ++s) {
+    const LayerDesc& layer = model.layers[cs.on_array[s]];
+    ActivationBuffer buffer;
+    buffer.producer = cs.on_array[s];
+    buffer.first_step = s;
+    buffer.last_step = std::min(s + 1, steps == 0 ? s : steps - 1);
+    buffer.bytes = activation_bytes(layer.out_c, layer.out_h, layer.out_w,
+                                    mem);
+    cs.buffers.push_back(buffer);
+  }
+  // FuSe stages break the linear chain: the row and col branches BOTH read
+  // the stage input, and the downstream pointwise consumes the
+  // concatenation of both outputs. Extend the affected lifetimes (the
+  // stage input through the col step, the row output through the
+  // pointwise step) so the first-fit allocator cannot overlay them.
+  for (std::size_t s = 0; s + 1 < steps; ++s) {
+    const LayerDesc& row = model.layers[cs.on_array[s]];
+    const LayerDesc& col = model.layers[cs.on_array[s + 1]];
+    if (row.kind != OpKind::kFuseRowConv ||
+        col.kind != OpKind::kFuseColConv || row.fuse_slot < 0 ||
+        row.fuse_slot != col.fuse_slot) {
+      continue;
+    }
+    // buffers[0] is the network input; the output of step s is at 1 + s.
+    ActivationBuffer& stage_input = cs.buffers[s == 0 ? 0 : s];
+    stage_input.last_step =
+        std::max(stage_input.last_step, std::min(s + 1, steps - 1));
+    ActivationBuffer& row_output = cs.buffers[1 + s];
+    row_output.last_step =
+        std::max(row_output.last_step, std::min(s + 2, steps - 1));
+  }
+  allocate_buffers(cs.buffers, cs.staging_bytes, mem);
+
+  // Fusion legality (fused mode): a depthwise/FuSe producer feeding the
+  // immediately next on-array layer(s) ending in a pointwise, with only
+  // activation glue between, matching geometry, and SRAM-resident
+  // intermediate buffers. A FuSe stage fuses as a {row, col} -> pointwise
+  // triple: the pointwise input is the concatenation of both branches.
+  std::vector<bool> consumed(model.layers.size(), false);
+  const auto paired = [&](std::size_t idx) {
+    for (const FusedPair& pair : cs.fused_pairs) {
+      if (pair.producer == idx || pair.producer2 == idx ||
+          pair.consumer == idx) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (mode == SchedMode::kFused) {
+    for (std::size_t s = 0; s + 1 < steps; ++s) {
+      const std::size_t p_idx = cs.on_array[s];
+      const LayerDesc& p = model.layers[p_idx];
+      if (consumed[p_idx] || paired(p_idx)) {
+        continue;
+      }
+      // FuSe triple: row at s, col at s + 1, pointwise at s + 2.
+      if (s + 2 < steps && p.kind == OpKind::kFuseRowConv) {
+        const std::size_t p2_idx = cs.on_array[s + 1];
+        const std::size_t c_idx = cs.on_array[s + 2];
+        const LayerDesc& p2 = model.layers[p2_idx];
+        const LayerDesc& c = model.layers[c_idx];
+        if (p2.kind == OpKind::kFuseColConv &&
+            c.kind == OpKind::kPointwiseConv) {
+          const bool legal =
+              only_activation_between(model, p_idx, p2_idx) &&
+              only_activation_between(model, p2_idx, c_idx) &&
+              p.fuse_slot >= 0 && p.fuse_slot == p2.fuse_slot &&
+              c.in_c == p.out_c + p2.out_c && c.in_h == p.out_h &&
+              c.in_w == p.out_w && c.in_h == p2.out_h &&
+              c.in_w == p2.out_w && !cs.buffers[1 + s].spilled &&
+              !cs.buffers[2 + s].spilled;
+          if (!legal) {
+            rejected_counter.add();
+            continue;
+          }
+          FusedPair pair;
+          pair.producer = p_idx;
+          pair.producer2 = p2_idx;
+          pair.consumer = c_idx;
+          pair.saved_output_bytes =
+              costs[p_idx].traffic.output_bytes +
+              costs[p2_idx].traffic.output_bytes;
+          pair.saved_input_bytes = costs[c_idx].traffic.input_bytes;
+          cs.fused_pairs.push_back(pair);
+          consumed[p2_idx] = true;
+          consumed[c_idx] = true;
+          fused_counter.add();
+          saved_counter.add(pair.saved_output_bytes +
+                            pair.saved_input_bytes);
+          continue;
+        }
+      }
+      const std::size_t c_idx = cs.on_array[s + 1];
+      const LayerDesc& c = model.layers[c_idx];
+      const bool candidate =
+          (p.kind == OpKind::kDepthwiseConv ||
+           p.kind == OpKind::kFuseRowConv ||
+           p.kind == OpKind::kFuseColConv) &&
+          c.kind == OpKind::kPointwiseConv && !consumed[c_idx];
+      if (!candidate) {
+        continue;
+      }
+      // buffers[0] is the network input; the output of step s is at 1 + s.
+      const ActivationBuffer& intermediate = cs.buffers[1 + s];
+      const bool legal =
+          only_activation_between(model, p_idx, c_idx) &&
+          c.in_c == p.out_c && c.in_h == p.out_h && c.in_w == p.out_w &&
+          !intermediate.spilled;
+      if (!legal) {
+        rejected_counter.add();
+        continue;
+      }
+      FusedPair pair;
+      pair.producer = p_idx;
+      pair.consumer = c_idx;
+      pair.saved_output_bytes = costs[p_idx].traffic.output_bytes;
+      pair.saved_input_bytes = costs[c_idx].traffic.input_bytes;
+      cs.fused_pairs.push_back(pair);
+      consumed[c_idx] = true;
+      fused_counter.add();
+      saved_counter.add(pair.saved_output_bytes + pair.saved_input_bytes);
+    }
+  }
+  return cs;
+}
+
+NetworkRoofline roofline_over(const std::vector<LayerCost>& costs,
+                              const std::vector<FusedPair>& pairs,
+                              const MemoryConfig& mem) {
+  NetworkRoofline roofline;
+  std::vector<bool> consumed(costs.size(), false);
+  for (const FusedPair& pair : pairs) {
+    if (pair.producer2 != FusedPair::kNone) {
+      consumed[pair.producer2] = true;
+    }
+    consumed[pair.consumer] = true;
+  }
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (consumed[i]) {
+      continue;
+    }
+    const FusedPair* pair = nullptr;
+    for (const FusedPair& p : pairs) {
+      if (p.producer == i || p.producer2 == i || p.consumer == i) {
+        pair = &p;
+        break;
+      }
+    }
+    std::uint64_t compute = costs[i].latency.cycles;
+    systolic::TrafficEstimate traffic = costs[i].traffic;
+    if (pair != nullptr && pair->producer == i) {
+      // The group is one scheduling unit: compute back-to-back, traffic
+      // with the SRAM-resident intermediates subtracted on both sides.
+      if (pair->producer2 != FusedPair::kNone) {
+        compute += costs[pair->producer2].latency.cycles;
+        traffic += costs[pair->producer2].traffic;
+      }
+      compute += costs[pair->consumer].latency.cycles;
+      traffic.output_bytes -= pair->saved_output_bytes;
+      traffic += costs[pair->consumer].traffic;
+      traffic.input_bytes -= pair->saved_input_bytes;
+    }
+    const std::uint64_t memory = traffic.memory_cycles(mem);
+    roofline.compute_cycles += compute;
+    roofline.memory_cycles += memory;
+    roofline.bound_cycles += std::max(compute, memory);
+    roofline.total_bytes += traffic.total_bytes();
+    if (memory > compute && compute > 0) {
+      ++roofline.memory_bound_layers;
+    }
+  }
+  return roofline;
+}
+
 NetworkPlan plan_network(const nets::NetworkModel& model,
                          const ArrayConfig& cfg, const MemoryConfig& mem,
                          SchedMode mode) {
@@ -398,12 +621,6 @@ NetworkPlan plan_network(const nets::NetworkModel& model,
   mem.validate();
   static util::Counter& plans_counter =
       util::metrics().counter("netplan.plans");
-  static util::Counter& fused_counter =
-      util::metrics().counter("netplan.pairs_fused");
-  static util::Counter& rejected_counter =
-      util::metrics().counter("netplan.pairs_rejected");
-  static util::Counter& saved_counter =
-      util::metrics().counter("netplan.saved_bytes");
   static util::Gauge& high_water_gauge =
       util::metrics().gauge("netplan.sram_high_water");
   plans_counter.add();
@@ -418,164 +635,43 @@ NetworkPlan plan_network(const nets::NetworkModel& model,
   plan.layer_plans.reserve(model.layers.size());
   plan.layer_latency.reserve(model.layers.size());
   plan.layer_traffic.reserve(model.layers.size());
-  std::vector<std::uint64_t> peak_fold(model.layers.size(), 0);
+  std::vector<LayerCost> costs(model.layers.size());
   for (std::size_t i = 0; i < model.layers.size(); ++i) {
     MappingPlan lowered = systolic::lower(model.layers[i], cfg);
-    plan.layer_latency.push_back(plan_latency(lowered));
-    plan.layer_traffic.push_back(systolic::plan_traffic(lowered, cfg, mem));
-    peak_fold[i] = systolic::plan_peak_fold_bytes(lowered, cfg, mem);
-    if (!lowered.ops.empty()) {
-      plan.on_array.push_back(i);
-    }
+    costs[i].latency = plan_latency(lowered);
+    costs[i].traffic = systolic::plan_traffic(lowered, cfg, mem);
+    costs[i].peak_fold_bytes =
+        systolic::plan_peak_fold_bytes(lowered, cfg, mem);
+    costs[i].on_array = !lowered.ops.empty();
+    plan.layer_latency.push_back(costs[i].latency);
+    plan.layer_traffic.push_back(costs[i].traffic);
     plan.layer_plans.push_back(std::move(lowered));
   }
 
-  // Double-buffered fold staging: the largest per-fold operand footprint,
-  // twice (current fold + prefetch of the next). The two halves are the
-  // statically disjoint double-buffer regions at [0, peak) and
-  // [peak, 2*peak).
-  std::uint64_t max_peak = 0;
-  for (std::size_t i : plan.on_array) {
-    max_peak = std::max(max_peak, peak_fold[i]);
-  }
-  plan.staging_bytes = 2 * max_peak;
-
-  // Liveness: the activation chain is linear in this flat IR (skip
-  // connections share the glue adds' inputs and are not tracked
-  // separately — docs/scheduler.md discusses the simplification). The
-  // network input is live through step 0; step s's output is live until
-  // its consumer (step s+1) finishes.
+  // Everything below the per-layer costs — SRAM liveness/allocation and
+  // fusion legality — is shared with the closed-form evaluator.
+  CostSchedule cs = schedule_costs(model, costs, mem, mode);
+  plan.on_array = std::move(cs.on_array);
+  plan.buffers = std::move(cs.buffers);
+  plan.fused_pairs = std::move(cs.fused_pairs);
+  plan.staging_bytes = cs.staging_bytes;
   const std::size_t steps = plan.on_array.size();
-  if (steps > 0) {
-    const LayerDesc& first = model.layers[plan.on_array.front()];
-    ActivationBuffer input;
-    input.producer = ActivationBuffer::kNetworkInput;
-    input.first_step = 0;
-    input.last_step = 0;
-    input.bytes = activation_bytes(first.in_c, first.in_h, first.in_w, mem);
-    plan.buffers.push_back(input);
-  }
-  for (std::size_t s = 0; s < steps; ++s) {
-    const LayerDesc& layer = model.layers[plan.on_array[s]];
-    ActivationBuffer buffer;
-    buffer.producer = plan.on_array[s];
-    buffer.first_step = s;
-    buffer.last_step = std::min(s + 1, steps == 0 ? s : steps - 1);
-    buffer.bytes = activation_bytes(layer.out_c, layer.out_h, layer.out_w,
-                                    mem);
-    plan.buffers.push_back(buffer);
-  }
-  // FuSe stages break the linear chain: the row and col branches BOTH read
-  // the stage input, and the downstream pointwise consumes the
-  // concatenation of both outputs. Extend the affected lifetimes (the
-  // stage input through the col step, the row output through the
-  // pointwise step) so the first-fit allocator cannot overlay them.
-  for (std::size_t s = 0; s + 1 < steps; ++s) {
-    const LayerDesc& row = model.layers[plan.on_array[s]];
-    const LayerDesc& col = model.layers[plan.on_array[s + 1]];
-    if (row.kind != OpKind::kFuseRowConv ||
-        col.kind != OpKind::kFuseColConv || row.fuse_slot < 0 ||
-        row.fuse_slot != col.fuse_slot) {
-      continue;
-    }
-    // buffers[0] is the network input; the output of step s is at 1 + s.
-    ActivationBuffer& stage_input = plan.buffers[s == 0 ? 0 : s];
-    stage_input.last_step =
-        std::max(stage_input.last_step, std::min(s + 1, steps - 1));
-    ActivationBuffer& row_output = plan.buffers[1 + s];
-    row_output.last_step =
-        std::max(row_output.last_step, std::min(s + 2, steps - 1));
-  }
-  allocate_buffers(plan);
 
   // SRAM high water: resident activations + the running layer's staging.
   for (std::size_t s = 0; s < steps; ++s) {
-    const std::uint64_t staging = 2 * peak_fold[plan.on_array[s]];
+    const std::uint64_t staging =
+        2 * costs[plan.on_array[s]].peak_fold_bytes;
     plan.sram_high_water = std::max(
-        plan.sram_high_water, resident_bytes_at(plan, s) + staging);
+        plan.sram_high_water, resident_bytes_at(plan.buffers, s) + staging);
   }
   high_water_gauge.set(static_cast<std::int64_t>(plan.sram_high_water));
 
-  // Fusion legality (fused mode): a depthwise/FuSe producer feeding the
-  // immediately next on-array layer(s) ending in a pointwise, with only
-  // activation glue between, matching geometry, and SRAM-resident
-  // intermediate buffers. A FuSe stage fuses as a {row, col} -> pointwise
-  // triple: the pointwise input is the concatenation of both branches.
   std::vector<bool> consumed(model.layers.size(), false);
-  if (mode == SchedMode::kFused) {
-    for (std::size_t s = 0; s + 1 < steps; ++s) {
-      const std::size_t p_idx = plan.on_array[s];
-      const LayerDesc& p = model.layers[p_idx];
-      if (consumed[p_idx] || plan.pair_of(p_idx) != nullptr) {
-        continue;
-      }
-      // FuSe triple: row at s, col at s + 1, pointwise at s + 2.
-      if (s + 2 < steps && p.kind == OpKind::kFuseRowConv) {
-        const std::size_t p2_idx = plan.on_array[s + 1];
-        const std::size_t c_idx = plan.on_array[s + 2];
-        const LayerDesc& p2 = model.layers[p2_idx];
-        const LayerDesc& c = model.layers[c_idx];
-        if (p2.kind == OpKind::kFuseColConv &&
-            c.kind == OpKind::kPointwiseConv) {
-          const bool legal =
-              only_activation_between(model, p_idx, p2_idx) &&
-              only_activation_between(model, p2_idx, c_idx) &&
-              p.fuse_slot >= 0 && p.fuse_slot == p2.fuse_slot &&
-              c.in_c == p.out_c + p2.out_c && c.in_h == p.out_h &&
-              c.in_w == p.out_w && c.in_h == p2.out_h &&
-              c.in_w == p2.out_w && !plan.buffers[1 + s].spilled &&
-              !plan.buffers[2 + s].spilled;
-          if (!legal) {
-            rejected_counter.add();
-            continue;
-          }
-          FusedPair pair;
-          pair.producer = p_idx;
-          pair.producer2 = p2_idx;
-          pair.consumer = c_idx;
-          pair.saved_output_bytes =
-              plan.layer_traffic[p_idx].output_bytes +
-              plan.layer_traffic[p2_idx].output_bytes;
-          pair.saved_input_bytes = plan.layer_traffic[c_idx].input_bytes;
-          plan.fused_pairs.push_back(pair);
-          consumed[p2_idx] = true;
-          consumed[c_idx] = true;
-          fused_counter.add();
-          saved_counter.add(pair.saved_output_bytes +
-                            pair.saved_input_bytes);
-          continue;
-        }
-      }
-      const std::size_t c_idx = plan.on_array[s + 1];
-      const LayerDesc& c = model.layers[c_idx];
-      const bool candidate =
-          (p.kind == OpKind::kDepthwiseConv ||
-           p.kind == OpKind::kFuseRowConv ||
-           p.kind == OpKind::kFuseColConv) &&
-          c.kind == OpKind::kPointwiseConv && !consumed[c_idx];
-      if (!candidate) {
-        continue;
-      }
-      // buffers[0] is the network input; the output of step s is at 1 + s.
-      const ActivationBuffer& intermediate = plan.buffers[1 + s];
-      const bool legal =
-          only_activation_between(model, p_idx, c_idx) &&
-          c.in_c == p.out_c && c.in_h == p.out_h && c.in_w == p.out_w &&
-          !intermediate.spilled;
-      if (!legal) {
-        rejected_counter.add();
-        continue;
-      }
-      FusedPair pair;
-      pair.producer = p_idx;
-      pair.consumer = c_idx;
-      pair.saved_output_bytes = plan.layer_traffic[p_idx].output_bytes;
-      pair.saved_input_bytes = plan.layer_traffic[c_idx].input_bytes;
-      plan.fused_pairs.push_back(pair);
-      consumed[c_idx] = true;
-      fused_counter.add();
-      saved_counter.add(pair.saved_output_bytes + pair.saved_input_bytes);
+  for (const FusedPair& pair : plan.fused_pairs) {
+    if (pair.producer2 != FusedPair::kNone) {
+      consumed[pair.producer2] = true;
     }
+    consumed[pair.consumer] = true;
   }
 
   // Schedule segments. The cycle axis is shared with the analytic model:
@@ -603,12 +699,13 @@ NetworkPlan plan_network(const nets::NetworkModel& model,
       // footprint is the worst step's residency plus the deepest member's
       // double-buffered staging.
       std::uint64_t pair_sram = 0;
-      std::uint64_t group_peak = peak_fold[c_idx];
+      std::uint64_t group_peak = costs[c_idx].peak_fold_bytes;
       for (std::size_t m = 0; m <= producers.size(); ++m) {
-        pair_sram = std::max(pair_sram, resident_bytes_at(plan, s + m));
+        pair_sram =
+            std::max(pair_sram, resident_bytes_at(plan.buffers, s + m));
       }
       for (const std::size_t p_idx : producers) {
-        group_peak = std::max(group_peak, peak_fold[p_idx]);
+        group_peak = std::max(group_peak, costs[p_idx].peak_fold_bytes);
       }
       pair_sram += 2 * group_peak;
       plan.sram_high_water = std::max(plan.sram_high_water, pair_sram);
@@ -643,7 +740,8 @@ NetworkPlan plan_network(const nets::NetworkModel& model,
     seg.start_cycle = cursor;
     seg.end_cycle = cursor + plan.layer_latency[idx].cycles;
     seg.folds = plan.layer_latency[idx].folds;
-    seg.sram_bytes = resident_bytes_at(plan, s) + 2 * peak_fold[idx];
+    seg.sram_bytes =
+        resident_bytes_at(plan.buffers, s) + 2 * costs[idx].peak_fold_bytes;
     cursor = seg.end_cycle;
     plan.segments.push_back(seg);
   }
@@ -656,43 +754,13 @@ NetworkPlan plan_network(const nets::NetworkModel& model,
 }
 
 NetworkRoofline plan_roofline(const NetworkPlan& plan) {
-  NetworkRoofline roofline;
-  std::vector<bool> consumed(plan.layer_latency.size(), false);
-  for (const FusedPair& pair : plan.fused_pairs) {
-    if (pair.producer2 != FusedPair::kNone) {
-      consumed[pair.producer2] = true;
-    }
-    consumed[pair.consumer] = true;
+  std::vector<LayerCost> costs(plan.layer_latency.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    costs[i].latency = plan.layer_latency[i];
+    costs[i].traffic = plan.layer_traffic[i];
+    costs[i].on_array = !plan.layer_plans[i].ops.empty();
   }
-  for (std::size_t i = 0; i < plan.layer_latency.size(); ++i) {
-    if (consumed[i]) {
-      continue;
-    }
-    const FusedPair* pair = plan.pair_of(i);
-    std::uint64_t compute = plan.layer_latency[i].cycles;
-    systolic::TrafficEstimate traffic = plan.layer_traffic[i];
-    if (pair != nullptr && pair->producer == i) {
-      // The group is one scheduling unit: compute back-to-back, traffic
-      // with the SRAM-resident intermediates subtracted on both sides.
-      if (pair->producer2 != FusedPair::kNone) {
-        compute += plan.layer_latency[pair->producer2].cycles;
-        traffic += plan.layer_traffic[pair->producer2];
-      }
-      compute += plan.layer_latency[pair->consumer].cycles;
-      traffic.output_bytes -= pair->saved_output_bytes;
-      traffic += plan.layer_traffic[pair->consumer];
-      traffic.input_bytes -= pair->saved_input_bytes;
-    }
-    const std::uint64_t memory = traffic.memory_cycles(plan.mem);
-    roofline.compute_cycles += compute;
-    roofline.memory_cycles += memory;
-    roofline.bound_cycles += std::max(compute, memory);
-    roofline.total_bytes += traffic.total_bytes();
-    if (memory > compute && compute > 0) {
-      ++roofline.memory_bound_layers;
-    }
-  }
-  return roofline;
+  return roofline_over(costs, plan.fused_pairs, plan.mem);
 }
 
 }  // namespace fuse::sched

@@ -102,6 +102,51 @@ struct ScheduleSegment {
   std::uint64_t duration() const { return end_cycle - start_cycle; }
 };
 
+/// The per-layer numbers the network schedule is a function of — what a
+/// lowered MappingPlan costs, without the plan itself. Both cost paths
+/// produce these: plan_network folds them out of real lowered plans, and
+/// sched/eval_fast computes them in closed form. schedule_costs /
+/// roofline_over below consume ONLY this struct, which is what makes the
+/// two paths provably agree: identical LayerCosts in, identical schedule
+/// and roofline out.
+struct LayerCost {
+  systolic::LatencyEstimate latency;
+  systolic::TrafficEstimate traffic;
+  /// Largest per-fold operand footprint (plan_peak_fold_bytes).
+  std::uint64_t peak_fold_bytes = 0;
+  /// False for glue ops (pool/activation/add) that never touch the array.
+  bool on_array = false;
+};
+
+/// The schedule-level decisions derived from per-layer costs: which layers
+/// run on the array, where their activations live in SRAM, and which
+/// producer->consumer groups fuse. Everything except the segment timeline
+/// of a full NetworkPlan.
+struct CostSchedule {
+  std::vector<std::size_t> on_array;
+  std::vector<ActivationBuffer> buffers;
+  std::vector<FusedPair> fused_pairs;
+  std::uint64_t staging_bytes = 0;
+};
+
+/// Runs the liveness analysis, SRAM first-fit allocation, and (in fused
+/// mode) the fusion-legality scan over per-layer costs. This is the single
+/// home of the scheduler's legality rules — plan_network and the
+/// closed-form evaluator both call it. Records the netplan.* pair/spill
+/// counters.
+CostSchedule schedule_costs(const nets::NetworkModel& model,
+                            const std::vector<LayerCost>& costs,
+                            const systolic::MemoryConfig& mem,
+                            SchedMode mode);
+
+/// Roofline over per-layer costs + fused pairs: each unfused layer (and
+/// each fused group, as one unit with the pair's saved bytes subtracted)
+/// contributes max(compute, memory). plan_roofline is this applied to a
+/// NetworkPlan's own vectors.
+NetworkRoofline roofline_over(const std::vector<LayerCost>& costs,
+                              const std::vector<FusedPair>& pairs,
+                              const systolic::MemoryConfig& mem);
+
 /// The whole-network schedule. Per-layer vectors are parallel to
 /// model.layers (glue ops carry empty plans and zero estimates).
 struct NetworkPlan {

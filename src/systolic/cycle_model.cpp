@@ -26,6 +26,16 @@ std::uint64_t fold_cycles(std::int64_t used_rows, std::int64_t used_cols,
                                     depth + used_rows);
 }
 
+std::uint64_t fold_cycles(std::int64_t used_rows, std::int64_t used_cols,
+                          std::int64_t depth, const ArrayConfig& cfg) {
+  FUSE_CHECK(used_rows > 0 && used_cols > 0 && depth > 0)
+      << "fold_cycles(" << used_rows << ", " << used_cols << ", " << depth
+      << ")";
+  return static_cast<std::uint64_t>(cfg.skew_cycles(used_rows) +
+                                    cfg.skew_cycles(used_cols) + depth +
+                                    cfg.drain_cycles(used_rows));
+}
+
 LatencyEstimate matmul_latency(std::int64_t m, std::int64_t t,
                                std::int64_t n, const ArrayConfig& cfg) {
   switch (cfg.dataflow) {
@@ -51,11 +61,11 @@ LatencyEstimate matmul_latency_os(std::int64_t m, std::int64_t t,
   for_each_fold_tile(m, n, cfg, [&](const FoldTile& tile) {
     if (cfg.overlap_fold_drain) {
       // Drain overlaps the next fold's fill; only the last fold pays it.
-      est.cycles += static_cast<std::uint64_t>((tile.rows - 1) +
-                                               (tile.cols - 1) + t);
+      est.cycles += static_cast<std::uint64_t>(cfg.skew_cycles(tile.rows) +
+                                               cfg.skew_cycles(tile.cols) + t);
       last_rows = tile.rows;
     } else {
-      est.cycles += fold_cycles(tile.rows, tile.cols, t);
+      est.cycles += fold_cycles(tile.rows, tile.cols, t, cfg);
     }
     est.folds += 1;
     est.mac_ops += static_cast<std::uint64_t>(tile.rows) *
@@ -63,7 +73,7 @@ LatencyEstimate matmul_latency_os(std::int64_t m, std::int64_t t,
                    static_cast<std::uint64_t>(t);
   });
   if (cfg.overlap_fold_drain) {
-    est.cycles += static_cast<std::uint64_t>(last_rows);
+    est.cycles += static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
   }
   return est;
 }
@@ -81,12 +91,14 @@ LatencyEstimate matmul_latency_ws(std::int64_t m, std::int64_t t,
     const std::int64_t used_t = tile.rows;
     const std::int64_t used_n = tile.cols;
     // Preload hides behind the previous fold's streaming when weights
-    // are double-buffered.
+    // are double-buffered. Preload is row-load-bandwidth bound (one row
+    // per cycle), so transparency does not shorten it.
     if (first_fold || !cfg.overlap_fold_drain) {
       est.cycles += static_cast<std::uint64_t>(used_t);
     }
     first_fold = false;
-    est.cycles += static_cast<std::uint64_t>(m + used_t + used_n - 2);
+    est.cycles += static_cast<std::uint64_t>(m + cfg.skew_cycles(used_t) +
+                                             cfg.skew_cycles(used_n));
     est.folds += 1;
     est.mac_ops += static_cast<std::uint64_t>(m) *
                    static_cast<std::uint64_t>(used_t) *
@@ -111,7 +123,8 @@ LatencyEstimate matmul_latency_is(std::int64_t m, std::int64_t t,
       est.cycles += static_cast<std::uint64_t>(used_m);
     }
     first_fold = false;
-    est.cycles += static_cast<std::uint64_t>(n + used_m + used_t - 2);
+    est.cycles += static_cast<std::uint64_t>(n + cfg.skew_cycles(used_m) +
+                                             cfg.skew_cycles(used_t));
     est.folds += 1;
     est.mac_ops += static_cast<std::uint64_t>(n) *
                    static_cast<std::uint64_t>(used_m) *
@@ -177,11 +190,11 @@ LatencyEstimate fuse1d_latency(std::int64_t lines, std::int64_t line_out,
   for_each_fold_tile(lines, line_out, cfg, [&](const FoldTile& tile) {
     // Input skew along the row + k broadcast MAC cycles (+ drain, unless
     // it overlaps the next wave's fill).
-    est.cycles += static_cast<std::uint64_t>((tile.cols - 1) + k);
+    est.cycles += static_cast<std::uint64_t>(cfg.skew_cycles(tile.cols) + k);
     if (cfg.overlap_fold_drain) {
       last_rows = tile.rows;
     } else {
-      est.cycles += static_cast<std::uint64_t>(tile.rows);
+      est.cycles += static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
     }
     est.folds += 1;
     est.mac_ops += static_cast<std::uint64_t>(tile.rows) *
@@ -189,7 +202,7 @@ LatencyEstimate fuse1d_latency(std::int64_t lines, std::int64_t line_out,
                    static_cast<std::uint64_t>(k);
   });
   if (cfg.overlap_fold_drain) {
-    est.cycles += static_cast<std::uint64_t>(last_rows);
+    est.cycles += static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
   }
   return est;
 }

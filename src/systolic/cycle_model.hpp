@@ -14,6 +14,12 @@
 //
 // The cycle-level simulator in sim.hpp implements the same dataflow with a
 // real PE grid and is asserted in tests to match these counts exactly.
+//
+// On a transparent array (ArrayConfig::pipelining != kPipelined) the skew
+// and drain terms shrink to ceil((R-1)/p) / ceil(R/p) for transparency p —
+// see ArrayConfig::skew_cycles / drain_cycles; the compute term T and the
+// WS/IS preload (row-load bandwidth) are unchanged. The pipelined default
+// reproduces the formulas above exactly.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,11 @@ struct LatencyEstimate {
 /// Cycles for a single output-stationary fold (exposed for tests).
 std::uint64_t fold_cycles(std::int64_t used_rows, std::int64_t used_cols,
                           std::int64_t depth);
+
+/// Same, honouring cfg's pipelining mode (equal to the above when
+/// pipelined).
+std::uint64_t fold_cycles(std::int64_t used_rows, std::int64_t used_cols,
+                          std::int64_t depth, const ArrayConfig& cfg);
 
 /// Dense matmul [M, T] x [T, N] on the configured dataflow (dispatches to
 /// one of the three models below).

@@ -83,15 +83,17 @@ TrafficEstimate fuse1d_traffic(std::int64_t lines, std::int64_t line_out,
       static_cast<std::uint64_t>(mem.dtype_bytes);
   TrafficEstimate traffic;
   // Each column-fold of a line reads its window: used_cols + k - 1 values.
-  for (std::int64_t out0 = 0; out0 < line_out; out0 += cfg.cols) {
-    const std::int64_t used_cols = std::min(cfg.cols, line_out - out0);
-    traffic.input_bytes += static_cast<std::uint64_t>(lines) *
-                           static_cast<std::uint64_t>(used_cols + k - 1) *
-                           dtype;
-    // The k broadcast weights are re-fetched per wave.
-    traffic.weight_bytes += static_cast<std::uint64_t>(lines) *
-                            static_cast<std::uint64_t>(k) * dtype;
-  }
+  // Summed over the ceil(line_out / cols) folds the used_cols telescope to
+  // line_out, so the whole loop collapses to closed form.
+  const std::uint64_t col_folds = ceil_div(line_out, cfg.cols);
+  traffic.input_bytes =
+      static_cast<std::uint64_t>(lines) *
+      (static_cast<std::uint64_t>(line_out) +
+       col_folds * static_cast<std::uint64_t>(k - 1)) *
+      dtype;
+  // The k broadcast weights are re-fetched per wave.
+  traffic.weight_bytes = static_cast<std::uint64_t>(lines) *
+                         static_cast<std::uint64_t>(k) * col_folds * dtype;
   traffic.output_bytes = static_cast<std::uint64_t>(lines) *
                          static_cast<std::uint64_t>(line_out) * dtype;
   return traffic;

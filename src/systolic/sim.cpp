@@ -121,6 +121,12 @@ util::ThreadPool& sim_pool() {
 
 SystolicArraySim::SystolicArraySim(ArrayConfig cfg) : cfg_(cfg) {
   cfg_.validate();
+  // The cycle-accurate sims model the fully pipelined array (one register
+  // stage per PE). Transparent configs change the skew/drain geometry the
+  // sims hard-code, so the analytic model is the only oracle for them.
+  FUSE_CHECK(cfg_.pipelining == Pipelining::kPipelined)
+      << "SystolicArraySim models fully pipelined arrays only; got "
+      << pipelining_name(cfg_.pipelining);
 }
 
 SimResult SystolicArraySim::matmul(const Tensor& a, const Tensor& b) {

@@ -34,10 +34,10 @@ void append_matmul_walk(std::int64_t m, std::int64_t t, std::int64_t n,
     fold.weight_bytes = static_cast<std::uint64_t>(t * tile.cols) * dtype;
     fold.output_bytes =
         static_cast<std::uint64_t>(tile.rows * tile.cols) * dtype;
-    std::uint64_t cycles =
-        static_cast<std::uint64_t>((tile.rows - 1) + (tile.cols - 1) + t);
+    std::uint64_t cycles = static_cast<std::uint64_t>(
+        cfg.skew_cycles(tile.rows) + cfg.skew_cycles(tile.cols) + t);
     if (!cfg.overlap_fold_drain) {
-      cycles += static_cast<std::uint64_t>(tile.rows);
+      cycles += static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
     }
     last_rows = tile.rows;
     fold.start_cycle = cursor;
@@ -46,7 +46,7 @@ void append_matmul_walk(std::int64_t m, std::int64_t t, std::int64_t n,
     trace.folds.push_back(fold);
   });
   if (cfg.overlap_fold_drain) {
-    cursor += static_cast<std::uint64_t>(last_rows);
+    cursor += static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
   }
 }
 
@@ -68,9 +68,10 @@ void append_fuse1d_walk(std::int64_t lines, std::int64_t line_out,
     fold.weight_bytes = static_cast<std::uint64_t>(tile.rows * k) * dtype;
     fold.output_bytes =
         static_cast<std::uint64_t>(tile.rows * tile.cols) * dtype;
-    std::uint64_t cycles = static_cast<std::uint64_t>((tile.cols - 1) + k);
+    std::uint64_t cycles =
+        static_cast<std::uint64_t>(cfg.skew_cycles(tile.cols) + k);
     if (!cfg.overlap_fold_drain) {
-      cycles += static_cast<std::uint64_t>(tile.rows);
+      cycles += static_cast<std::uint64_t>(cfg.drain_cycles(tile.rows));
     }
     last_rows = tile.rows;
     fold.start_cycle = cursor;
@@ -79,7 +80,7 @@ void append_fuse1d_walk(std::int64_t lines, std::int64_t line_out,
     trace.folds.push_back(fold);
   });
   if (cfg.overlap_fold_drain) {
-    cursor += static_cast<std::uint64_t>(last_rows);
+    cursor += static_cast<std::uint64_t>(cfg.drain_cycles(last_rows));
   }
 }
 

@@ -54,7 +54,15 @@
 #      diffs against the committed results/BENCH_serve.json via
 #      bench_compare, a perturbed speedup_vs_b1 (exact by declaration,
 #      wall-looking by name) must exit nonzero, and serve_demo's replay
-#      must be byte-deterministic across repeat runs.
+#      must be byte-deterministic across repeat runs,
+#  13. design-space lab: bench_dse FUSE_CHECKs the closed-form
+#      evaluator's equality against the plan path over an axis-spanning
+#      config subset and the >= 10x configs-per-second gate internally;
+#      its stdout and frontier CSV must be byte-identical between
+#      --threads=1 --no-cache and --threads=8, the fresh BENCH_dse.json
+#      diffs against the committed baseline via bench_compare (frontier
+#      rows exact, *_cps wall), and a perturbed frontier latency must
+#      make the gate exit nonzero.
 #
 # Usage: tools/check.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        [release-build-dir]
@@ -75,13 +83,13 @@ filter_bench_output() {
   grep -vE '^(sweep:|#)' || true
 }
 
-echo "=== [1/12] default build + full test suite ==="
+echo "=== [1/13] default build + full test suite ==="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo
-echo "=== [2/12] ThreadSanitizer build + concurrency suites ==="
+echo "=== [2/13] ThreadSanitizer build + concurrency suites ==="
 CONCURRENCY_TESTS=(test_thread_pool test_sweep_determinism test_properties
                    test_telemetry test_kernels test_systolic_sim
                    test_netplan test_serve)
@@ -94,7 +102,7 @@ for t in "${CONCURRENCY_TESTS[@]}"; do
 done
 
 echo
-echo "=== [3/12] AddressSanitizer build + mapping/executor suites ==="
+echo "=== [3/13] AddressSanitizer build + mapping/executor suites ==="
 ASAN_TESTS=(test_mapping test_execute test_systolic_sim test_netplan
             test_serve)
 cmake -B "$ASAN_DIR" -S . -DFUSE_SANITIZE=address \
@@ -106,7 +114,7 @@ for t in "${ASAN_TESTS[@]}"; do
 done
 
 echo
-echo "=== [4/12] Release -O3 build: kernel differential suite + bench smoke ==="
+echo "=== [4/13] Release -O3 build: kernel differential suite + bench smoke ==="
 cmake -B "$RELEASE_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$RELEASE_DIR" -j "$(nproc)" --target test_kernels bench_kernels
 echo "--- test_kernels (Release) ---"
@@ -116,7 +124,7 @@ echo "--- bench_kernels smoke (Release) ---"
 echo "bench_kernels smoke: ok"
 
 echo
-echo "=== [5/12] forced-ISA matrix: differential suite + bench CSV tolerance ==="
+echo "=== [5/13] forced-ISA matrix: differential suite + bench CSV tolerance ==="
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 # The differential suite under each forced ISA. Under =scalar the float
@@ -170,7 +178,7 @@ print(f"{len(names)} files agree between --kernel-isa=scalar and =auto")
 EOF
 
 echo
-echo "=== [6/12] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
+echo "=== [6/13] bench determinism: --threads=1 --no-cache vs --threads=8 ==="
 for bench in bench_table1 bench_fig8d_scaling bench_pareto \
              bench_resolution bench_width_mult bench_nos; do
   bin="$BUILD_DIR/bench/$bench"
@@ -190,7 +198,7 @@ for bench in bench_table1 bench_fig8d_scaling bench_pareto \
 done
 
 echo
-echo "=== [7/12] backend equality: --kernel-backend=fast vs reference ==="
+echo "=== [7/13] backend equality: --kernel-backend=fast vs reference ==="
 # Every golden-producing bench (all of bench/ except the google-benchmark
 # micro-bench, whose output is wall time). Each runs with --csv where
 # supported, in a per-backend scratch dir; stdout and every CSV written
@@ -239,7 +247,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [8/12] sim backend equality: --sim-backend=fast vs reference ==="
+echo "=== [8/13] sim backend equality: --sim-backend=fast vs reference ==="
 # The simulator-driven examples must print byte-identical stdout under
 # either engine (the fast engine is bit-exact, cycles included). The
 # second fast leg also pins --sim-threads=4: fold-parallel execution may
@@ -266,7 +274,7 @@ done
 echo "bench_sim bit-exactness smoke: ok"
 
 echo
-echo "=== [9/12] schedule equality: default vs --sched-mode=per-layer ==="
+echo "=== [9/13] schedule equality: default vs --sched-mode=per-layer ==="
 # The fused network schedule is strictly opt-in: with no flag, every
 # bench must print exactly what an explicit --sched-mode=per-layer run
 # prints (bench_ria_analysis takes no CLI flags, so its per-layer leg
@@ -296,7 +304,7 @@ for bench in "${GOLDEN_BENCHES[@]}"; do
 done
 
 echo
-echo "=== [10/12] telemetry export: profile_network JSON validity ==="
+echo "=== [10/13] telemetry export: profile_network JSON validity ==="
 "$BUILD_DIR/examples/profile_network" --net mobilenet_v2 --variant fuse_full \
   --trace-json "$TELEMETRY_TMP/profile.json" \
   --stats-json "$TELEMETRY_TMP/profile.stats.json"
@@ -337,7 +345,7 @@ print(f"{len(paths)} telemetry JSON files parsed; attribution sums check")
 EOF
 
 echo
-echo "=== [11/12] perf-regression lab: bench_compare vs committed baselines ==="
+echo "=== [11/13] perf-regression lab: bench_compare vs committed baselines ==="
 # Fresh machine-readable artifacts from the two deterministic-core
 # benches, diffed against the committed baselines. Cycle counts, MAC and
 # byte totals, and roofline bounds are model outputs and must reproduce
@@ -376,7 +384,7 @@ python3 tools/bench_compare.py "$TELEMETRY_TMP/history/BENCH_fusion.jsonl" \
   "$TELEMETRY_TMP/BENCH_fusion.json" --quiet
 
 echo
-echo "=== [12/12] serving lab: bench_serve + serve_demo determinism ==="
+echo "=== [12/13] serving lab: bench_serve + serve_demo determinism ==="
 # bench_serve FUSE_CHECKs the >= 2x dynamic-batching gate internally, so
 # a clean exit is the throughput claim. The artifact must be
 # byte-identical between worker counts: every number in it is a
@@ -441,6 +449,50 @@ else
   echo "serve_demo: OUTPUT DIVERGED between runs" >&2
   exit 1
 fi
+
+echo
+echo "=== [13/13] design-space lab: bench_dse equality + frontier determinism ==="
+# A plain run is already the evaluator-equality grid and the >= 10x
+# throughput gate (both FUSE_CHECKed inside the binary). The two legs
+# here additionally pin thread-count determinism: stdout (minus "# "
+# wall-clock footers) and the frontier CSV may not differ by a byte
+# between a serial uncached run and an 8-thread memoized one.
+for leg in "t1 --threads=1 --no-cache" "t8 --threads=8"; do
+  set -- $leg
+  tag="$1"; shift
+  dir="$TELEMETRY_TMP/bench_dse.$tag"
+  mkdir -p "$dir"
+  (cd "$dir" && "$REPO_ROOT/$BUILD_DIR/bench/bench_dse" "$@" --csv \
+     --json="$dir/BENCH_dse.json" | filter_bench_output > stdout.txt)
+done
+if diff "$TELEMETRY_TMP/bench_dse.t1/stdout.txt" \
+        "$TELEMETRY_TMP/bench_dse.t8/stdout.txt" &&
+   diff "$TELEMETRY_TMP/bench_dse.t1/bench_dse.csv" \
+        "$TELEMETRY_TMP/bench_dse.t8/bench_dse.csv"; then
+  echo "bench_dse: stdout and frontier CSV byte-identical across threads"
+else
+  echo "bench_dse: OUTPUT DIVERGED between thread counts" >&2
+  exit 1
+fi
+python3 tools/bench_compare.py results/BENCH_dse.json \
+  "$TELEMETRY_TMP/bench_dse.t1/BENCH_dse.json"
+# The frontier rows are exact by declaration: nudging one latency within
+# what a wall-clock tolerance would forgive must still fail the gate.
+python3 - "$TELEMETRY_TMP" <<'EOF'
+import json, os, sys
+tmp = sys.argv[1]
+with open(os.path.join(tmp, "bench_dse.t1", "BENCH_dse.json")) as f:
+    doc = json.load(f)
+doc["rows"][0]["latency_ms"] *= 1.01
+with open(os.path.join(tmp, "BENCH_dse.perturbed.json"), "w") as f:
+    json.dump(doc, f)
+EOF
+if python3 tools/bench_compare.py results/BENCH_dse.json \
+     "$TELEMETRY_TMP/BENCH_dse.perturbed.json" --quiet; then
+  echo "bench_compare FAILED to gate a perturbed frontier latency" >&2
+  exit 1
+fi
+echo "bench_compare: perturbed frontier latency correctly rejected"
 
 echo
 echo "all checks passed"

@@ -50,6 +50,13 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
     # Network-scheduler rows: per-layer vs fused roofline per network x
     # variant, with the proven never-slower bound savings.
     "$bench" --json="$RESULTS_DIR/BENCH_fusion.json" --csv | tee "$name.txt"
+  elif [ "$name" = bench_dse ]; then
+    # Design-space-explorer rows: the Pareto frontier over the full
+    # ArrayConfig grid plus the closed-form evaluator's configs-per-second
+    # against the plan-materializing baseline (>= 10x gate FUSE_CHECKed
+    # inside the bench). Frontier rows are exact; *_cps and
+    # speedup_vs_plan are wall-clock and only warn in bench_compare.
+    "$bench" --json="$RESULTS_DIR/BENCH_dse.json" --csv | tee "$name.txt"
   elif [ "$name" = bench_serve ]; then
     # Serving-engine rows: saturation throughput (batch-1 vs dynamic
     # batching, >= 2x gate), open-loop rate sweep percentiles, and the
